@@ -1,0 +1,184 @@
+package dpuv2
+
+// One benchmark per table and figure of the paper's evaluation (§V), each
+// delegating to the shared experiment harness in internal/bench at a
+// reduced workload scale so `go test -bench=.` stays tractable. Full-size
+// runs: `go run ./cmd/dpu-bench -scale 1.0`. Additional micro-benchmarks
+// cover the compiler, simulator, instruction codec and the host-parallel
+// CPU baseline.
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/baseline"
+	"dpuv2/internal/bench"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sim"
+)
+
+func benchConfig() bench.Config {
+	return bench.Config{Scale: 0.1, LargeScale: 0.01}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := bench.NewRunner(benchConfig())
+		out, err := r.Run(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)    { runExperiment(b, "table3") }
+func BenchmarkFig1c(b *testing.B)     { runExperiment(b, "fig1c") }
+func BenchmarkFig3c(b *testing.B)     { runExperiment(b, "fig3c") }
+func BenchmarkFig6e(b *testing.B)     { runExperiment(b, "fig6e") }
+func BenchmarkFig10b(b *testing.B)    { runExperiment(b, "fig10b") }
+func BenchmarkFig10cd(b *testing.B)   { runExperiment(b, "fig10cd") }
+func BenchmarkFig11(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { runExperiment(b, "fig13") }
+func BenchmarkFig14a(b *testing.B)    { runExperiment(b, "fig14a") }
+func BenchmarkFig14b(b *testing.B)    { runExperiment(b, "fig14b") }
+func BenchmarkProgSize(b *testing.B)  { runExperiment(b, "progsize") }
+func BenchmarkFootprint(b *testing.B) { runExperiment(b, "footprint") }
+
+// BenchmarkCompile measures end-to-end compilation speed on a mid-size PC
+// (the paper's Table I reports minutes for its Python compiler; the Go
+// reimplementation is measured here per op).
+func BenchmarkCompile(b *testing.B) {
+	g := pc.Build(pc.Suite()[1], 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumNodes()), "nodes/prog")
+}
+
+// BenchmarkSimulate measures simulator speed in simulated cycles per
+// second of host time.
+func BenchmarkSimulate(b *testing.B) {
+	g := pc.Build(pc.Suite()[1], 0.5)
+	c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]float64, len(c.Graph.Inputs()))
+	for i := range inputs {
+		inputs[i] = 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(c, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Stats.Cycles), "cycles/run")
+}
+
+// BenchmarkPackUnpack measures the variable-length instruction codec.
+func BenchmarkPackUnpack(b *testing.B) {
+	g := pc.Build(pc.Suite()[0], 0.25)
+	c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed := c.Prog.Pack()
+		if _, err := arch.Unpack(packed, c.Prog.Cfg, len(c.Prog.Instrs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Prog.BitSize())/8, "bytes/prog")
+}
+
+// BenchmarkHostParallel measures the real level-synchronous CPU baseline
+// on this machine.
+func BenchmarkHostParallel(b *testing.B) {
+	g := pc.Build(pc.Suite()[3], 0.25)
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]float64, len(g.Inputs()))
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.RunParallel(g, inputs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumNodes()), "nodes/run")
+}
+
+// BenchmarkAblationWindow quantifies the value of the step-3 reorder
+// window (DESIGN.md ablation): window=1 degenerates to in-order issue.
+func BenchmarkAblationWindow(b *testing.B) {
+	g := pc.Build(pc.Suite()[0], 0.25)
+	for _, w := range []int{1, 30, 300} {
+		b.Run(map[int]string{1: "window1", 30: "window30", 300: "window300"}[w], func(b *testing.B) {
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{Window: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationTopology quantifies the interconnect choice (fig. 6):
+// cycles under each output topology.
+func BenchmarkAblationTopology(b *testing.B) {
+	g := pc.Build(pc.Suite()[0], 0.25)
+	for _, tp := range []arch.OutputTopology{arch.OutCrossbar, arch.OutPerLayer, arch.OutPerPE} {
+		b.Run(tp.String(), func(b *testing.B) {
+			cfg := arch.Config{D: 3, B: 64, R: 32, Output: tp}
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				c, err := compiler.Compile(g, cfg, compiler.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationDepth quantifies the tree-depth choice at constant
+// bank count (the paper's "increasing D improves latency without more
+// power" observation).
+func BenchmarkAblationDepth(b *testing.B) {
+	g := pc.Build(pc.Suite()[0], 0.25)
+	for _, d := range []int{1, 2, 3} {
+		b.Run([]string{"", "D1", "D2", "D3"}[d], func(b *testing.B) {
+			cfg := arch.Config{D: d, B: 64, R: 32, Output: arch.OutPerLayer}
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				c, err := compiler.Compile(g, cfg, compiler.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}

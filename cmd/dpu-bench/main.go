@@ -1,0 +1,47 @@
+// Command dpu-bench regenerates the tables and figures of the paper's
+// evaluation section. Run every experiment, or select one with -exp.
+//
+//	dpu-bench -scale 1.0 -exp fig14a
+//	dpu-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpuv2/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload scale vs Table I sizes")
+	largeScale := flag.Float64("large-scale", 0.05, "large-PC suite scale")
+	seed := flag.Int64("seed", 0, "compiler randomization seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Experiments(), "\n"))
+		return
+	}
+	r := bench.NewRunner(bench.Config{Scale: *scale, LargeScale: *largeScale, Seed: *seed})
+	names := bench.Experiments()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	failed := false
+	for _, n := range names {
+		out, err := r.Run(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

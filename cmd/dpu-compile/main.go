@@ -1,0 +1,98 @@
+// Command dpu-compile compiles a benchmark workload for a DPU-v2
+// configuration and reports the compilation statistics, instruction mix
+// and packed binary size; optionally the binary is written to a file.
+//
+//	dpu-compile -workload mnist -scale 0.5 -d 3 -b 64 -r 32 -o mnist.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sptrsv"
+)
+
+func buildWorkload(name string, scale float64) (*dag.Graph, error) {
+	for _, s := range pc.Suite() {
+		if s.Name == name {
+			return pc.Build(s, scale), nil
+		}
+	}
+	for _, s := range pc.LargeSuite() {
+		if s.Name == name {
+			return pc.Build(s, scale), nil
+		}
+	}
+	for _, s := range sptrsv.Suite() {
+		if s.Name == name {
+			g, _ := sptrsv.Build(s, scale)
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (see Table I of the paper)", name)
+}
+
+func main() {
+	workload := flag.String("workload", "tretail", "benchmark name from Table I")
+	in := flag.String("in", "", "compile a DAG file (see internal/dag format) instead of a named benchmark")
+	disasm := flag.Bool("disasm", false, "print the disassembled program")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	d := flag.Int("d", 3, "tree depth D")
+	b := flag.Int("b", 64, "register banks B")
+	r := flag.Int("r", 32, "registers per bank R")
+	out := flag.String("o", "", "write packed binary to this file")
+	seed := flag.Int64("seed", 0, "compiler randomization seed")
+	part := flag.Int("partition", 0, "coarse partition size (0 = off)")
+	flag.Parse()
+
+	var g *dag.Graph
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		g, err = dag.Read(f, *in)
+		f.Close()
+	} else {
+		g, err = buildWorkload(*workload, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := arch.Config{D: *d, B: *b, R: *r, Output: arch.OutPerLayer}
+	c, err := compiler.Compile(g, cfg, compiler.Options{Seed: *seed, PartitionSize: *part})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := c.Stats
+	fmt.Printf("workload:      %s (%d arithmetic nodes)\n", g.Name, st.Nodes)
+	fmt.Printf("configuration: %v\n", cfg.Normalize())
+	fmt.Printf("blocks:        %d (mean PE utilization %.2f, peak %.2f)\n", st.Blocks, st.MeanUtil, st.PeakUtil)
+	fmt.Printf("instructions:  %d (exec %d, load %d, copy %d, store %d, nop %d)\n",
+		st.Instructions, st.Execs, st.Loads, st.Copies, st.Stores+st.SpillStores, st.Nops)
+	fmt.Printf("conflicts:     %d repaired words (%d input, %d output moves)\n",
+		st.CopiedWords, st.InputConflicts, st.OutputMoves)
+	fmt.Printf("spills:        %d stores, %d reloads\n", st.SpillStores, st.Reloads)
+	fmt.Printf("binary:        %d bytes packed (%d bits), data image %d words\n",
+		(c.Prog.BitSize()+7)/8, c.Prog.BitSize(), len(c.Prog.InitMem))
+	fmt.Printf("compile time:  %.3fs\n", st.CompileSeconds)
+	if *disasm {
+		fmt.Print(arch.DisassembleProgram(c.Prog))
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, c.Prog.Pack(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

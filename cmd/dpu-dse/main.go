@@ -1,0 +1,55 @@
+// Command dpu-dse runs the full design-space exploration of §V over the
+// benchmark suites and reports the min-latency, min-energy and min-EDP
+// configurations (fig. 11/12).
+//
+//	dpu-dse -scale 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/dse"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sptrsv"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload scale vs Table I sizes")
+	seed := flag.Int64("seed", 0, "compiler randomization seed")
+	flag.Parse()
+
+	var suite []*dag.Graph
+	for _, s := range pc.Suite() {
+		suite = append(suite, pc.Build(s, *scale))
+	}
+	for _, s := range sptrsv.Suite() {
+		g, _ := sptrsv.Build(s, *scale)
+		suite = append(suite, g)
+	}
+	fmt.Printf("sweeping %d configurations over %d workloads (scale %.2f)\n",
+		len(dse.Grid()), len(suite), *scale)
+	points := dse.Sweep(suite, dse.Grid(), compiler.Options{Seed: *seed})
+	fmt.Printf("%-24s %10s %10s %12s %9s\n", "config", "lat(ns)", "E(pJ)", "EDP(pJ*ns)", "area(mm2)")
+	for _, p := range points {
+		if !p.Feasible {
+			fmt.Printf("%-24s infeasible: %v\n", p.Cfg.String(), p.Err)
+			continue
+		}
+		fmt.Printf("%-24s %10.3f %10.2f %12.2f %9.2f\n",
+			p.Cfg.String(), p.LatencyPerOp, p.EnergyPerOp, p.EDP, p.AreaMM2)
+	}
+	report := func(name string, m dse.Metric, paper string) {
+		if p, ok := dse.Best(points, m); ok {
+			fmt.Printf("%-12s %-24s (paper: %s)\n", name, p.Cfg.String(), paper)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: no feasible point\n", name)
+		}
+	}
+	report("min latency:", dse.MinLatency, "D=3,B=64,R=128")
+	report("min energy:", dse.MinEnergy, "D=3,B=16,R=64")
+	report("min EDP:", dse.MinEDP, "D=3,B=64,R=32")
+}

@@ -1,0 +1,133 @@
+// Package dpuv2 is the public façade of the DPU-v2 reproduction: build or
+// import an irregular computation DAG, compile it for a DPU-v2
+// configuration, execute it on the cycle-accurate simulator, and read
+// back verified results together with performance and energy estimates.
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// map); this package re-exports the types a downstream user needs:
+//
+//	g := dpuv2.NewGraph("demo")
+//	a, b := g.AddInput(), g.AddInput()
+//	g.AddOp(dpuv2.OpMul, g.AddOp(dpuv2.OpAdd, a, b), g.AddConst(3))
+//
+//	prog, _ := dpuv2.Compile(g, dpuv2.MinEDP(), dpuv2.CompileOptions{})
+//	res, _ := dpuv2.Execute(prog, []float64{2, 5})
+//	fmt.Println(res.Outputs, res.Report.ThroughputGOPS)
+package dpuv2
+
+import (
+	"fmt"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/energy"
+	"dpuv2/internal/sim"
+)
+
+// Re-exported DAG construction API.
+type (
+	// Graph is an irregular computation DAG under construction.
+	Graph = dag.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = dag.NodeID
+	// Op is a node operation (OpInput, OpConst, OpAdd, OpMul).
+	Op = dag.Op
+)
+
+// Node operations.
+const (
+	OpInput = dag.OpInput
+	OpConst = dag.OpConst
+	OpAdd   = dag.OpAdd
+	OpMul   = dag.OpMul
+)
+
+// NewGraph returns an empty DAG with a display name.
+func NewGraph(name string) *Graph { return dag.New(name) }
+
+// Config is a DPU-v2 hardware configuration (tree depth D, banks B,
+// registers per bank R, output interconnect).
+type Config = arch.Config
+
+// MinEDP returns the configuration the paper's design-space exploration
+// selects (D=3, B=64, R=32).
+func MinEDP() Config { return arch.MinEDP() }
+
+// Large returns the DPU-v2 (L) configuration used for multi-million-node
+// circuits.
+func Large() Config { return arch.Large() }
+
+// CompileOptions tunes the compiler; the zero value matches the paper.
+type CompileOptions = compiler.Options
+
+// Program is a compiled, runnable DPU-v2 executable with its metadata.
+type Program struct {
+	compiled *compiler.Compiled
+}
+
+// Compile lowers a DAG onto the given configuration using the four-step
+// compiler of the paper (§IV).
+func Compile(g *Graph, cfg Config, opts CompileOptions) (*Program, error) {
+	c, err := compiler.Compile(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{compiled: c}, nil
+}
+
+// Stats exposes what compilation did (instruction mix, conflicts
+// repaired, spills, utilization).
+func (p *Program) Stats() compiler.Stats { return p.compiled.Stats }
+
+// BinarySize returns the densely packed program size in bytes.
+func (p *Program) BinarySize() int { return (p.compiled.Prog.BitSize() + 7) / 8 }
+
+// Binary returns the packed instruction stream (fig. 7(b)).
+func (p *Program) Binary() []byte { return p.compiled.Prog.Pack() }
+
+// Report summarizes one execution.
+type Report struct {
+	Cycles         int
+	ThroughputGOPS float64
+	PowerMW        float64
+	EnergyPerOpPJ  float64
+	EDP            float64 // pJ·ns per operation
+}
+
+// Result is a verified execution outcome. Outputs are keyed by the sink
+// node ids of the compiled (binarized) graph; Sinks lists them in order.
+type Result struct {
+	Outputs map[NodeID]float64
+	Sinks   []NodeID
+	Report  Report
+}
+
+// Execute runs the program on the cycle-accurate simulator with the given
+// input values (in graph-input order) and verifies every sink against the
+// reference evaluator before returning.
+func Execute(p *Program, inputs []float64) (*Result, error) {
+	res, err := sim.Verify(p.compiled, inputs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dpuv2: %w", err)
+	}
+	est := energy.EstimateRun(p.compiled.Prog.Cfg, p.compiled.Stats.Nodes, res.Stats, p.compiled.Prog)
+	out := &Result{
+		Outputs: res.Outputs,
+		Sinks:   append([]NodeID(nil), p.compiled.Graph.Outputs()...),
+		Report: Report{
+			Cycles:         res.Stats.Cycles,
+			ThroughputGOPS: est.ThroughputGOP,
+			PowerMW:        est.PowerMW,
+			EnergyPerOpPJ:  est.EnergyPerOp,
+			EDP:            est.EDP,
+		},
+	}
+	return out, nil
+}
+
+// SinkOf maps a node id of the original (pre-binarization) graph to the
+// corresponding sink id in Result.Outputs.
+func (p *Program) SinkOf(original NodeID) NodeID {
+	return p.compiled.Remap[original]
+}

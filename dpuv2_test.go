@@ -1,0 +1,63 @@
+package dpuv2
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGraph("demo")
+	a := g.AddInput()
+	b := g.AddInput()
+	s := g.AddOp(OpAdd, a, b)
+	c := g.AddConst(3)
+	root := g.AddOp(OpMul, s, c)
+
+	prog, err := Compile(g, MinEDP(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.BinarySize() <= 0 || len(prog.Binary()) != prog.BinarySize() {
+		t.Fatal("binary size inconsistent")
+	}
+	res, err := Execute(prog, []float64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Outputs[prog.SinkOf(root)]
+	if got != 21 {
+		t.Fatalf("result = %v, want 21", got)
+	}
+	if res.Report.Cycles <= 0 || res.Report.ThroughputGOPS <= 0 {
+		t.Fatalf("report not populated: %+v", res.Report)
+	}
+	if math.IsNaN(res.Report.EnergyPerOpPJ) || res.Report.EnergyPerOpPJ <= 0 {
+		t.Fatalf("energy estimate broken: %+v", res.Report)
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	g := NewGraph("s")
+	x := g.AddInput()
+	cur := x
+	for i := 0; i < 50; i++ {
+		cur = g.AddOp(OpAdd, cur, g.AddConst(float64(i)))
+	}
+	prog, err := Compile(g, Config{D: 2, B: 8, R: 16}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.Stats()
+	if st.Execs == 0 || st.Instructions == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	g := NewGraph("bad")
+	a := g.AddInput()
+	g.AddOp(OpAdd, a, a)
+	if _, err := Compile(g, Config{D: 9, B: 4, R: 1}, CompileOptions{}); err == nil {
+		t.Fatal("expected config validation error")
+	}
+}

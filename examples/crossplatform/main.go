@@ -1,0 +1,59 @@
+// Cross-platform comparison: run one workload through the DPU-v2
+// simulator, the real host-parallel level-synchronous executor (the CPU
+// baseline's actual algorithm), and the calibrated analytic platform
+// models — the fig. 14(a) experiment in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"dpuv2"
+	"dpuv2/internal/baseline"
+	"dpuv2/internal/pc"
+)
+
+func main() {
+	spec := pc.Suite()[2] // nltcs
+	g := pc.Build(spec, 0.5)
+	fmt.Printf("workload: %s stand-in, %d nodes\n", spec.Name, g.NumNodes())
+
+	prog, err := dpuv2.Compile(g, dpuv2.MinEDP(), dpuv2.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	inputs := make([]float64, len(g.Inputs()))
+	for i := range inputs {
+		inputs[i] = rng.Float64()
+	}
+	res, err := dpuv2.Execute(prog, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DPU-v2 (simulated @300MHz): %7.2f GOPS, %.3f W\n",
+		res.Report.ThroughputGOPS, res.Report.PowerMW/1e3)
+
+	// Real level-synchronous execution on this machine.
+	workers := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	const reps = 20
+	for i := 0; i < reps; i++ {
+		if _, err := baseline.RunParallel(g, inputs, workers); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds() / reps
+	ops := float64(prog.Stats().Nodes)
+	fmt.Printf("host CPU (%d workers, measured): %7.2f GOPS\n", workers, ops/elapsed/1e9)
+
+	// Calibrated models of the paper's platforms.
+	w := baseline.Workload{Nodes: spec.TargetNodes, LongestPath: spec.TargetDepth}
+	for _, p := range []baseline.Platform{baseline.DPU1, baseline.CPU, baseline.GPU} {
+		fmt.Printf("%-6s (modeled, paper-sized):  %7.2f GOPS, %.1f W\n",
+			p, baseline.Throughput(p, w), baseline.PowerW(p, false))
+	}
+}

@@ -1,0 +1,57 @@
+// Sparse triangular solve: lower a 2-D mesh factor L into a DAG, compile
+// it once, then solve L·x = b for several right-hand sides — the
+// static-sparsity-pattern, changing-values workload of robotic
+// localization and mapping (§I). Solutions are cross-checked against the
+// direct forward-substitution solver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"dpuv2"
+	"dpuv2/internal/sptrsv"
+)
+
+func main() {
+	m := sptrsv.Mesh2D(24, 20, 11) // 480×480 lower factor of a 5-point mesh
+	g, xs := sptrsv.LowerAll(m)
+	fmt.Printf("matrix: n=%d, nnz=%d -> DAG with %d nodes\n", m.N, m.NNZ(), g.NumNodes())
+
+	prog, err := dpuv2.Compile(g, dpuv2.MinEDP(), dpuv2.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled once: %d instructions, %d packed bytes\n",
+		prog.Stats().Instructions, prog.BinarySize())
+
+	rng := rand.New(rand.NewSource(3))
+	for solve := 0; solve < 3; solve++ {
+		b := make([]float64, m.N)
+		for i := range b {
+			b[i] = rng.Float64()*2 - 1
+		}
+		res, err := dpuv2.Execute(prog, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := m.Solve(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worst := 0.0
+		checked := 0
+		for i, x := range xs {
+			if got, ok := res.Outputs[prog.SinkOf(x)]; ok {
+				if d := math.Abs(got - want[i]); d > worst {
+					worst = d
+				}
+				checked++
+			}
+		}
+		fmt.Printf("solve %d: %d components observable, max |dpu - direct| = %.2e  (%d cycles)\n",
+			solve, checked, worst, res.Report.Cycles)
+	}
+}

@@ -1,0 +1,134 @@
+// Package arch defines the DPU-v2 architecture template of §III: the
+// parameterized datapath of PE trees, the banked register file with
+// automatic write-address generation, the input/output interconnect
+// topologies of fig. 6, and the variable-length VLIW instruction set of
+// fig. 7 including its dense bit-packed encoding.
+//
+// The template has three free parameters: tree depth D, bank count B and
+// registers per bank R. The number of trees T = B/2^D follows from the
+// requirement that the register file can feed every tree input each cycle.
+package arch
+
+import "fmt"
+
+// OutputTopology selects the PE-output → register-bank interconnect of
+// fig. 6. The input interconnect is a full crossbar for all supported
+// designs (a)–(c); design (d) removes it and is modeled for completeness
+// but rejected by the compiler, as in the paper.
+type OutputTopology uint8
+
+const (
+	// OutCrossbar is fig. 6(a): every PE can write every bank.
+	OutCrossbar OutputTopology = iota
+	// OutPerLayer is fig. 6(b), the design DPU-v2 selects: each bank is
+	// writable from exactly one PE per tree layer.
+	OutPerLayer
+	// OutPerPE is fig. 6(c): each bank is writable from exactly one PE
+	// (the root's bank group reaches only the root).
+	OutPerPE
+	// OutOneToOne is fig. 6(d): additionally removes the input crossbar.
+	OutOneToOne
+)
+
+func (o OutputTopology) String() string {
+	switch o {
+	case OutCrossbar:
+		return "crossbar"
+	case OutPerLayer:
+		return "per-layer"
+	case OutPerPE:
+		return "per-pe"
+	case OutOneToOne:
+		return "one-to-one"
+	}
+	return fmt.Sprintf("topology(%d)", uint8(o))
+}
+
+// Config is one instantiation of the architecture template.
+type Config struct {
+	// D is the number of PE layers per tree (pipeline has D+1 stages).
+	D int
+	// B is the number of register banks (= datapath input ports).
+	B int
+	// R is the number of registers per bank.
+	R int
+	// Output selects the output interconnect topology; the zero value of
+	// a Config is completed to OutPerLayer (the paper's choice) by
+	// Normalize.
+	Output OutputTopology
+	// DataMemWords is the capacity of the on-chip data memory in words.
+	// Zero means the 256K-word default (1 MB at 4 B/word), enough to hold
+	// inputs, results and spill slots for the full-scale Table I suites.
+	DataMemWords int
+	// ClockMHz is the target frequency; zero means 300 MHz, the paper's
+	// synthesis target.
+	ClockMHz float64
+}
+
+// Normalize fills defaulted fields and returns the completed config.
+func (c Config) Normalize() Config {
+	if c.DataMemWords == 0 {
+		c.DataMemWords = 1 << 18
+	}
+	if c.ClockMHz == 0 {
+		c.ClockMHz = 300
+	}
+	return c
+}
+
+// Validate checks that the parameters describe a constructible design.
+func (c Config) Validate() error {
+	if c.D < 1 || c.D > 6 {
+		return fmt.Errorf("arch: D=%d out of supported range [1,6]", c.D)
+	}
+	if c.B < 1<<c.D {
+		return fmt.Errorf("arch: B=%d smaller than one tree's input count 2^D=%d", c.B, 1<<c.D)
+	}
+	if c.B%(1<<c.D) != 0 {
+		return fmt.Errorf("arch: B=%d not a multiple of 2^D=%d", c.B, 1<<c.D)
+	}
+	if c.R < 2 {
+		return fmt.Errorf("arch: R=%d too small", c.R)
+	}
+	if c.Output > OutOneToOne {
+		return fmt.Errorf("arch: unknown output topology %d", c.Output)
+	}
+	return nil
+}
+
+// Trees returns T = B / 2^D, the number of parallel PE trees.
+func (c Config) Trees() int { return c.B >> uint(c.D) }
+
+// NumPEs returns T·(2^D − 1), the total PE count.
+func (c Config) NumPEs() int { return c.Trees() * ((1 << uint(c.D)) - 1) }
+
+// TreeInputs returns 2^D, the leaf input ports of one tree.
+func (c Config) TreeInputs() int { return 1 << uint(c.D) }
+
+// MinEDP returns the design-space point the paper's exploration selects
+// (D=3, B=64, R=32, per-layer output interconnect, 300 MHz).
+func MinEDP() Config {
+	return Config{D: 3, B: 64, R: 32, Output: OutPerLayer}.Normalize()
+}
+
+// MinEnergy returns the paper's minimum-energy point (D=3, B=16, R=64).
+func MinEnergy() Config {
+	return Config{D: 3, B: 16, R: 64, Output: OutPerLayer}.Normalize()
+}
+
+// MinLatency returns the paper's minimum-latency point (D=3, B=64, R=128).
+func MinLatency() Config {
+	return Config{D: 3, B: 64, R: 128, Output: OutPerLayer}.Normalize()
+}
+
+// Large returns the DPU-v2 (L) configuration used for the large-PC
+// comparison (§V-C2): min-EDP datapath with 256 registers per bank and a
+// larger data memory (4M words) backing the multi-million-node PCs.
+func Large() Config {
+	return Config{D: 3, B: 64, R: 256, Output: OutPerLayer, DataMemWords: 1 << 22}.Normalize()
+}
+
+// String renders the config like the paper's "D, B, R" tuples.
+func (c Config) String() string {
+	return fmt.Sprintf("D=%d,B=%d,R=%d,%s", c.D, c.B, c.R, c.Output)
+}

@@ -1,0 +1,116 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one instruction as human-readable assembly, the
+// debugging view of the packed stream. Formats:
+//
+//	nop
+//	exec   reads[b2.0 b6.3!] xbar[p0<-b2 ...] pe[t0:mul(add,byp) ...] writes[b9<-L3 ...]
+//	load   row=12 lanes[0,4,5]
+//	store  row=3 reads[b0.1 b2.0!]
+//	copy_4 b3.7->b5! b0.1->b9
+//
+// "!" marks valid_rst (last read frees the register).
+func Disassemble(in *Instr, cfg Config) string {
+	cfg = cfg.Normalize()
+	switch in.Kind {
+	case KindNop:
+		return "nop"
+	case KindExec:
+		var b strings.Builder
+		b.WriteString("exec reads[")
+		first := true
+		for bank := 0; bank < cfg.B; bank++ {
+			if !in.ReadEn[bank] {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			fmt.Fprintf(&b, "b%d.%d", bank, in.ReadAddr[bank])
+			if in.ValidRst[bank] {
+				b.WriteByte('!')
+			}
+		}
+		b.WriteString("] pe[")
+		first = true
+		for id, op := range in.PEOps {
+			if op == PEIdle {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			p := cfg.PECoord(id)
+			fmt.Fprintf(&b, "t%d.l%d.%d:%s", p.Tree, p.Layer, p.Index, op)
+		}
+		b.WriteString("] writes[")
+		first = true
+		for bank := 0; bank < cfg.B; bank++ {
+			if !in.WriteEn[bank] {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			p := cfg.SelPE(bank, in.WriteSel[bank])
+			fmt.Fprintf(&b, "b%d<-t%d.l%d.%d", bank, p.Tree, p.Layer, p.Index)
+		}
+		b.WriteString("]")
+		return b.String()
+	case KindLoad:
+		var lanes []string
+		for lane, en := range in.Mask {
+			if en {
+				lanes = append(lanes, fmt.Sprint(lane))
+			}
+		}
+		return fmt.Sprintf("load row=%d lanes[%s]", in.MemAddr, strings.Join(lanes, ","))
+	case KindStore:
+		var rs []string
+		for bank, en := range in.ReadEn {
+			if !en {
+				continue
+			}
+			s := fmt.Sprintf("b%d.%d", bank, in.ReadAddr[bank])
+			if in.ValidRst[bank] {
+				s += "!"
+			}
+			rs = append(rs, s)
+		}
+		return fmt.Sprintf("store row=%d reads[%s]", in.MemAddr, strings.Join(rs, " "))
+	case KindStore4, KindCopy:
+		var ms []string
+		for _, m := range in.Moves {
+			rst := ""
+			if m.Rst {
+				rst = "!"
+			}
+			ms = append(ms, fmt.Sprintf("b%d.%d%s->%d", m.SrcBank, m.SrcAddr, rst, m.Dst))
+		}
+		if in.Kind == KindStore4 {
+			return fmt.Sprintf("store_4 row=%d %s", in.MemAddr, strings.Join(ms, " "))
+		}
+		return "copy_4 " + strings.Join(ms, " ")
+	}
+	return fmt.Sprintf("?kind(%d)", in.Kind)
+}
+
+// DisassembleProgram renders every instruction, one per line with its
+// index and cumulative bit offset in the packed stream.
+func DisassembleProgram(p *Program) string {
+	var b strings.Builder
+	off := 0
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "%6d @%-8d %s\n", i, off, Disassemble(in, p.Cfg))
+		off += p.W.Len(in.Kind)
+	}
+	return b.String()
+}

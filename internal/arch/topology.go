@@ -1,0 +1,178 @@
+package arch
+
+import "fmt"
+
+// PE identifies a processing element by tree, layer and index. Layers
+// count from 1 at the leaf layer (which reads the input ports) to D at the
+// root; layer l of a tree holds 2^(D−l) PEs.
+type PE struct {
+	Tree  int
+	Layer int
+	Index int
+}
+
+// PEID flattens a PE coordinate into a dense id in [0, NumPEs): trees are
+// laid out consecutively, and within a tree the leaf layer comes first.
+func (c Config) PEID(p PE) int {
+	perTree := (1 << uint(c.D)) - 1
+	id := p.Tree * perTree
+	// Offset of layer l within the tree: sum of 2^(D-k) for k<l.
+	for k := 1; k < p.Layer; k++ {
+		id += 1 << uint(c.D-k)
+	}
+	return id + p.Index
+}
+
+// PECoord is the inverse of PEID.
+func (c Config) PECoord(id int) PE {
+	perTree := (1 << uint(c.D)) - 1
+	p := PE{Tree: id / perTree}
+	rem := id % perTree
+	for l := 1; l <= c.D; l++ {
+		w := 1 << uint(c.D-l)
+		if rem < w {
+			p.Layer, p.Index = l, rem
+			return p
+		}
+		rem -= w
+	}
+	panic(fmt.Sprintf("arch: PE id %d out of range", id))
+}
+
+// LayerWidth returns the number of PEs in layer l of one tree.
+func (c Config) LayerWidth(l int) int { return 1 << uint(c.D-l) }
+
+// Children returns the two PEs feeding p, or ok=false for leaf-layer PEs
+// (whose operands come from the input ports).
+func (c Config) Children(p PE) (left, right PE, ok bool) {
+	if p.Layer <= 1 {
+		return PE{}, PE{}, false
+	}
+	left = PE{Tree: p.Tree, Layer: p.Layer - 1, Index: 2 * p.Index}
+	right = PE{Tree: p.Tree, Layer: p.Layer - 1, Index: 2*p.Index + 1}
+	return left, right, true
+}
+
+// Parent returns the PE consuming p's output, or ok=false for roots.
+func (c Config) Parent(p PE) (PE, bool) {
+	if p.Layer >= c.D {
+		return PE{}, false
+	}
+	return PE{Tree: p.Tree, Layer: p.Layer + 1, Index: p.Index / 2}, true
+}
+
+// InputPorts returns the two global input-port indices read by a
+// leaf-layer PE. Ports are numbered 0..B−1; tree t owns ports
+// [t·2^D, (t+1)·2^D).
+func (c Config) InputPorts(p PE) (int, int) {
+	if p.Layer != 1 {
+		panic("arch: InputPorts on non-leaf PE")
+	}
+	base := p.Tree*c.TreeInputs() + 2*p.Index
+	return base, base + 1
+}
+
+// LeafPortPE returns the leaf PE reading global input port port and
+// whether the port is that PE's left (0) or right (1) operand.
+func (c Config) LeafPortPE(port int) (PE, int) {
+	tree := port / c.TreeInputs()
+	within := port % c.TreeInputs()
+	return PE{Tree: tree, Layer: 1, Index: within / 2}, within % 2
+}
+
+// CanWrite reports whether the output interconnect connects PE p to bank.
+func (c Config) CanWrite(p PE, bank int) bool {
+	switch c.Output {
+	case OutCrossbar:
+		return true
+	case OutPerLayer:
+		// Bank group of tree t covers banks [t·2^D,(t+1)·2^D). Within the
+		// group, bank j connects to the PE of layer l whose index is
+		// j >> l — exactly one PE per layer per bank, and each PE of
+		// layer l reaches 2^l banks.
+		if p.Layer < 1 || p.Layer > c.D || bank/c.TreeInputs() != p.Tree {
+			return false
+		}
+		j := bank % c.TreeInputs()
+		return j>>uint(p.Layer) == p.Index
+	case OutPerPE, OutOneToOne:
+		bp, ok := c.bankPE(bank)
+		return ok && bp == p
+	}
+	return false
+}
+
+// WritableBanks lists the banks PE p can write, ascending.
+func (c Config) WritableBanks(p PE) []int {
+	var banks []int
+	switch c.Output {
+	case OutCrossbar:
+		banks = make([]int, c.B)
+		for i := range banks {
+			banks[i] = i
+		}
+	case OutPerLayer:
+		base := p.Tree * c.TreeInputs()
+		for j := p.Index << uint(p.Layer); j < (p.Index+1)<<uint(p.Layer); j++ {
+			banks = append(banks, base+j)
+		}
+	case OutPerPE, OutOneToOne:
+		for b := 0; b < c.B; b++ {
+			if bp, ok := c.bankPE(b); ok && bp == p {
+				banks = append(banks, b)
+			}
+		}
+	}
+	return banks
+}
+
+// bankPE gives the unique PE connected to bank under the one-bank-one-PE
+// topologies. A tree has 2^D banks but only 2^D−1 PEs; the spare bank
+// (the last of the group) is attached to the root, matching the paper's
+// note that the top PE gets two banks.
+func (c Config) bankPE(bank int) (PE, bool) {
+	tree := bank / c.TreeInputs()
+	j := bank % c.TreeInputs()
+	perTree := (1 << uint(c.D)) - 1
+	if j >= perTree {
+		return PE{Tree: tree, Layer: c.D, Index: 0}, true
+	}
+	return c.PECoord(tree*perTree + j), true
+}
+
+// LayerPE returns the PE of the given layer that can write bank under the
+// per-layer topology; used to decode the exec instruction's write selects.
+func (c Config) LayerPE(bank, layer int) PE {
+	tree := bank / c.TreeInputs()
+	j := bank % c.TreeInputs()
+	return PE{Tree: tree, Layer: layer, Index: j >> uint(layer)}
+}
+
+// WriteSel encodes "PE p drives bank" as the select value stored in an
+// exec instruction for this topology; see Instr.WriteSel.
+func (c Config) WriteSel(bank int, p PE) (uint16, error) {
+	if !c.CanWrite(p, bank) {
+		return 0, fmt.Errorf("arch: PE %v cannot write bank %d under %s", p, bank, c.Output)
+	}
+	switch c.Output {
+	case OutCrossbar:
+		return uint16(c.PEID(p)), nil
+	case OutPerLayer:
+		return uint16(p.Layer - 1), nil
+	default:
+		return 0, nil
+	}
+}
+
+// SelPE decodes a write select back to the driving PE.
+func (c Config) SelPE(bank int, sel uint16) PE {
+	switch c.Output {
+	case OutCrossbar:
+		return c.PECoord(int(sel))
+	case OutPerLayer:
+		return c.LayerPE(bank, int(sel)+1)
+	default:
+		p, _ := c.bankPE(bank)
+		return p
+	}
+}

@@ -1,0 +1,194 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation (§V), shared by cmd/dpu-bench and the
+// repository's top-level Go benchmarks. Each generator returns the rows
+// as formatted text; EXPERIMENTS.md records how the regenerated numbers
+// compare with the paper's.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/baseline"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/energy"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sim"
+	"dpuv2/internal/sptrsv"
+)
+
+// Config scales the harness. Scale multiplies the Table I node counts of
+// the PC and SpTRSV suites; LargeScale does the same for the large-PC
+// suite (full scale means 3.3M-node circuits — correct but slow).
+type Config struct {
+	Scale      float64
+	LargeScale float64
+	Seed       int64
+}
+
+// DefaultConfig keeps every experiment under a few seconds.
+func DefaultConfig() Config { return Config{Scale: 0.15, LargeScale: 0.01} }
+
+// Runner caches compiled/simulated workloads across experiments.
+type Runner struct {
+	cfg   Config
+	cache map[string]*evalResult
+}
+
+// NewRunner creates a harness with the given scaling.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Scale <= 0 {
+		cfg.Scale = DefaultConfig().Scale
+	}
+	if cfg.LargeScale <= 0 {
+		cfg.LargeScale = DefaultConfig().LargeScale
+	}
+	return &Runner{cfg: cfg, cache: map[string]*evalResult{}}
+}
+
+type workload struct {
+	name  string
+	graph *dag.Graph
+	kind  string // "PC", "SpTRSV", "LargePC"
+	csr   *sptrsv.CSR
+	// full is the full-scale (Table I) workload shape; the analytic
+	// baseline models consume it so that scaled-down DPU-v2 stand-ins
+	// are still compared against paper-sized CPU/GPU/DPU runs.
+	full baseline.Workload
+}
+
+// suite builds the PC (a) and SpTRSV (b) workloads at the small scale.
+func (r *Runner) suite() []workload {
+	var ws []workload
+	for _, s := range pc.Suite() {
+		full := baseline.Workload{Nodes: s.TargetNodes, LongestPath: s.TargetDepth}
+		ws = append(ws, workload{s.Name, pc.Build(s, r.cfg.Scale), "PC", nil, full})
+	}
+	for _, s := range sptrsv.Suite() {
+		g, m := sptrsv.Build(s, r.cfg.Scale)
+		full := baseline.Workload{Nodes: s.TargetNodes, LongestPath: s.TargetDepth}
+		ws = append(ws, workload{s.Name, g, "SpTRSV", m, full})
+	}
+	return ws
+}
+
+func (r *Runner) largeSuite() []workload {
+	var ws []workload
+	for _, s := range pc.LargeSuite() {
+		full := baseline.Workload{Nodes: s.TargetNodes, LongestPath: s.TargetDepth}
+		ws = append(ws, workload{s.Name, pc.Build(s, r.cfg.LargeScale), "LargePC", nil, full})
+	}
+	return ws
+}
+
+type evalResult struct {
+	compiled *compiler.Compiled
+	simStats sim.Stats
+	est      energy.Estimate
+}
+
+// eval compiles and simulates one workload on one configuration, cached.
+func (r *Runner) eval(w workload, cfg arch.Config, opts compiler.Options) (*evalResult, error) {
+	key := fmt.Sprintf("%s|%v|%d|%v|%d", w.name, cfg, opts.Seed, opts.RandomBanks, opts.PartitionSize)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	c, err := compiler.Compile(w.graph, cfg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %v: %w", w.name, cfg, err)
+	}
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(len(w.name))))
+	inputs := make([]float64, len(c.Graph.Inputs()))
+	for i := range inputs {
+		inputs[i] = 0.25 + 0.75*rng.Float64()
+	}
+	res, err := sim.Run(c, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %v: %w", w.name, cfg, err)
+	}
+	er := &evalResult{
+		compiled: c,
+		simStats: res.Stats,
+		est:      energy.EstimateRun(cfg, c.Stats.Nodes, res.Stats, c.Prog),
+	}
+	r.cache[key] = er
+	return er, nil
+}
+
+// Experiments lists the available experiment names in paper order.
+func Experiments() []string {
+	return []string{
+		"table1", "table2", "table3",
+		"fig1c", "fig3c", "fig6e", "fig10b", "fig10cd",
+		"fig11", "fig12", "fig13", "fig14a", "fig14b",
+		"progsize", "footprint",
+	}
+}
+
+// Run dispatches an experiment by name.
+func (r *Runner) Run(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "table1":
+		return r.Table1()
+	case "table2":
+		return r.Table2()
+	case "table3":
+		return r.Table3()
+	case "fig1c":
+		return r.Fig1c()
+	case "fig3c":
+		return r.Fig3c()
+	case "fig6e":
+		return r.Fig6e()
+	case "fig10b":
+		return r.Fig10b()
+	case "fig10cd":
+		return r.Fig10cd()
+	case "fig11":
+		return r.Fig11()
+	case "fig12":
+		return r.Fig12()
+	case "fig13":
+		return r.Fig13()
+	case "fig14a":
+		return r.Fig14a()
+	case "fig14b":
+		return r.Fig14b()
+	case "progsize":
+		return r.ProgSize()
+	case "footprint":
+		return r.Footprint()
+	}
+	return "", fmt.Errorf("bench: unknown experiment %q (have %s)", name, strings.Join(Experiments(), ", "))
+}
+
+// geoMean of positive values.
+func geoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// mean of values.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

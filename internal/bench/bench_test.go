@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Config{Scale: 0.04, LargeScale: 0.004})
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	r := tinyRunner()
+	for _, name := range Experiments() {
+		out, err := r.Run(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(out) < 20 {
+			t.Errorf("%s: suspiciously short output %q", name, out)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if _, err := tinyRunner().Run("fig99"); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestCacheReuse(t *testing.T) {
+	r := tinyRunner()
+	if _, err := r.Run("table1"); err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.cache)
+	if n == 0 {
+		t.Fatal("cache empty after table1")
+	}
+	// fig13 uses the same min-EDP evaluations; no new small-suite entries
+	// should appear.
+	if _, err := r.Run("fig13"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != n {
+		t.Errorf("cache grew from %d to %d; fig13 should fully reuse table1 evals", n, len(r.cache))
+	}
+}
+
+func TestTable1ListsAllWorkloads(t *testing.T) {
+	out, err := tinyRunner().Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tretail", "mnist", "nltcs", "msnbc", "msweb", "bnetflix",
+		"bp_200", "west2021", "sieber", "jagmesh4", "rdb968", "dw2048",
+		"pigs", "andes", "munin", "mildew"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 missing %s", name)
+		}
+	}
+}
+
+func TestFig6eOrdering(t *testing.T) {
+	// The qualitative fig. 6(e) result: conflicts grow from topology (a)
+	// through (c).
+	r := NewRunner(Config{Scale: 0.08, LargeScale: 0.004})
+	out, err := r.Run("fig6e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflictsOf := func(prefix string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, prefix) {
+				continue
+			}
+			fields := strings.Fields(line)
+			for i, f := range fields {
+				if f == "conflicts" && i > 0 {
+					var v float64
+					if _, err := fmt.Sscanf(fields[i-1], "%f", &v); err == nil {
+						return v
+					}
+				}
+			}
+		}
+		t.Fatalf("fig6e output missing row %q:\n%s", prefix, out)
+		return 0
+	}
+	a := conflictsOf("(a)")
+	bc := conflictsOf("(b)")
+	c := conflictsOf("(c)")
+	if !(a <= bc && bc < c) {
+		t.Errorf("conflict ordering violated: a=%v b=%v c=%v", a, bc, c)
+	}
+}
+
+func TestGeoMeanAndMean(t *testing.T) {
+	if g := geoMean([]float64{1, 4}); g != 2 {
+		t.Errorf("geoMean = %v, want 2", g)
+	}
+	if geoMean(nil) != 0 || geoMean([]float64{0, 1}) != 0 {
+		t.Error("geoMean degenerate cases")
+	}
+	if m := mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("mean = %v", m)
+	}
+}

@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"fmt"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+)
+
+// Compile lowers a DAG to a DPU-v2 program for the given configuration,
+// running the four steps of §IV. Non-binary graphs are binarized first;
+// the returned Compiled carries the remapping.
+func Compile(g *dag.Graph, cfg arch.Config, opts Options) (*Compiled, error) {
+	start := time.Now()
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Output == arch.OutOneToOne {
+		return nil, fmt.Errorf("compiler: topology %s has no input crossbar and is not compilable (§III-C rejects it)", cfg.Output)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalize()
+
+	bg := g
+	var remap []dag.NodeID
+	if g.IsBinary() {
+		remap = make([]dag.NodeID, g.NumNodes())
+		for i := range remap {
+			remap[i] = dag.NodeID(i)
+		}
+	} else {
+		bg, remap = dag.Binarize(g)
+	}
+
+	stats := &Stats{}
+	keys := partitionKeys(bg, dag.DFSOrder(bg), opts.PartitionSize)
+	blocks, err := decompose(bg, cfg, opts, keys)
+	if err != nil {
+		return nil, err
+	}
+	stats.Blocks = len(blocks)
+
+	exp := newExpansion(cfg, bg.NumNodes())
+	for _, b := range blocks {
+		if err := exp.expand(bg, b); err != nil {
+			return nil, err
+		}
+	}
+
+	ba, err := allocateBanks(bg, cfg, blocks, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	ds := newDraftState(bg, cfg, ba, opts.Seed, stats)
+	outWord, err := ds.buildDraft(blocks)
+	if err != nil {
+		return nil, err
+	}
+
+	sched := reorder(ds.ops, len(ds.vals), cfg.D, opts.Window)
+
+	ra := newRegalloc(ds, sched, stats)
+	instrs, err := ra.run(sched)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := arch.NewProgram(cfg)
+	for i, in := range instrs {
+		if err := prog.Append(in); err != nil {
+			return nil, fmt.Errorf("compiler: emitted invalid instruction %d: %w", i, err)
+		}
+	}
+
+	// Data-memory image: every touched row, including the spill region
+	// (zero-initialized), with constant leaves filled in.
+	words := len(ds.rowMask) * cfg.B
+	if words > cfg.DataMemWords {
+		return nil, fmt.Errorf("compiler: memory image needs %d words, data memory holds %d", words, cfg.DataMemWords)
+	}
+	prog.InitMem = make([]float64, words)
+	for i := 0; i < bg.NumNodes(); i++ {
+		v := ValID(i)
+		if bg.Op(dag.NodeID(i)) == dag.OpConst && ds.vals[v].word >= 0 {
+			prog.InitMem[ds.vals[v].word] = bg.Node(dag.NodeID(i)).Val
+		}
+	}
+
+	// Input words, in graph-input order; -1 for inputs nothing consumes.
+	var inputWord []int
+	for _, id := range bg.Inputs() {
+		if w := ds.vals[id].word; w >= 0 {
+			inputWord = append(inputWord, int(w))
+		} else {
+			inputWord = append(inputWord, -1)
+		}
+	}
+
+	// Final stats.
+	for i := 0; i < bg.NumNodes(); i++ {
+		if !bg.Op(dag.NodeID(i)).IsLeaf() {
+			stats.Nodes++
+		}
+	}
+	stats.Instructions = len(prog.Instrs)
+	stats.Cycles = len(prog.Instrs) + cfg.D + 1
+	if stats.Execs > 0 {
+		stats.MeanUtil /= float64(stats.Execs)
+	}
+	stats.CompileSeconds = time.Since(start).Seconds()
+
+	return &Compiled{
+		Prog:       prog,
+		Graph:      bg,
+		Remap:      remap,
+		InputWord:  inputWord,
+		OutputWord: outWord,
+		Stats:      *stats,
+	}, nil
+}

@@ -1,0 +1,329 @@
+package compiler
+
+import (
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/pc"
+)
+
+func testGraph(seed int64, n int) *dag.Graph {
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 20, Interior: n, MaxArgs: 3, MulFrac: 0.5, Seed: seed})
+	bg, _ := dag.Binarize(g)
+	return bg
+}
+
+func decomposeFor(t *testing.T, g *dag.Graph, cfg arch.Config) []*Block {
+	t.Helper()
+	blocks, err := decompose(g, cfg.Normalize(), Options{}.normalize(), partitionKeys(g, dag.DFSOrder(g), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+// Step-1 invariants: every interior node in exactly one cone, cone depths
+// within D, block order topological (constraint A), slots disjoint.
+func TestDecomposeInvariants(t *testing.T) {
+	cfg := arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}.Normalize()
+	g := testGraph(5, 800)
+	blocks := decomposeFor(t, g, cfg)
+
+	covered := make(map[dag.NodeID]int)
+	blockOf := make(map[dag.NodeID]int)
+	for bi, b := range blocks {
+		usedPE := map[int]bool{}
+		for _, sg := range b.Subgraphs {
+			if sg.Depth < 1 || sg.Depth > cfg.D {
+				t.Fatalf("block %d: subgraph depth %d out of range", bi, sg.Depth)
+			}
+			if sg.Root.Layer != sg.Depth {
+				t.Fatalf("block %d: slot root layer %d != depth %d", bi, sg.Root.Layer, sg.Depth)
+			}
+			// Subtree slots within one block must be disjoint: collect
+			// the slot's PE ids.
+			var walk func(p arch.PE)
+			walk = func(p arch.PE) {
+				id := cfg.PEID(p)
+				if usedPE[id] {
+					t.Fatalf("block %d: overlapping slots at PE %d", bi, id)
+				}
+				usedPE[id] = true
+				if l, r, ok := cfg.Children(p); ok {
+					walk(l)
+					walk(r)
+				}
+			}
+			walk(sg.Root)
+			for _, n := range sg.Nodes {
+				covered[n]++
+				blockOf[n] = bi
+			}
+		}
+	}
+	interior := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		id := dag.NodeID(i)
+		if g.Op(id).IsLeaf() {
+			continue
+		}
+		interior++
+		if covered[id] != 1 {
+			t.Fatalf("node %d covered %d times", id, covered[id])
+		}
+		// Constraint A: args must be leaves or in the same/earlier block.
+		for _, a := range g.Args(id) {
+			if g.Op(a).IsLeaf() {
+				continue
+			}
+			if blockOf[a] > blockOf[id] {
+				t.Fatalf("node %d (block %d) depends on node %d (block %d)", id, blockOf[id], a, blockOf[a])
+			}
+		}
+	}
+	if interior == 0 {
+		t.Fatal("degenerate test graph")
+	}
+}
+
+// Expansion invariants: ports feed leaf PEs consistently, every
+// non-idle PE has live operands, outputs have writable PEs.
+func TestExpandInvariants(t *testing.T) {
+	cfg := arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}.Normalize()
+	g := testGraph(7, 500)
+	blocks := decomposeFor(t, g, cfg)
+	exp := newExpansion(cfg, g.NumNodes())
+	for bi, b := range blocks {
+		if err := exp.expand(g, b); err != nil {
+			t.Fatalf("block %d: %v", bi, err)
+		}
+		if len(b.PEOps) != cfg.NumPEs() || len(b.PortVal) != cfg.B {
+			t.Fatalf("block %d: wrong artifact sizes", bi)
+		}
+		for v, pe := range b.OutPE {
+			if b.PEOps[cfg.PEID(pe)] != arch.PEAdd && b.PEOps[cfg.PEID(pe)] != arch.PEMul {
+				t.Fatalf("block %d: output %d driven by non-arithmetic PE", bi, v)
+			}
+		}
+		// Every arithmetic leaf PE's ports are populated.
+		for id, op := range b.PEOps {
+			p := cfg.PECoord(id)
+			if p.Layer != 1 {
+				continue
+			}
+			l, r := cfg.InputPorts(p)
+			switch op {
+			case arch.PEAdd, arch.PEMul:
+				if b.PortVal[l] == InvalidVal || b.PortVal[r] == InvalidVal {
+					t.Fatalf("block %d: leaf PE %d missing port values", bi, id)
+				}
+			case arch.PEBypassL:
+				if b.PortVal[l] == InvalidVal {
+					t.Fatalf("block %d: bypass PE %d missing left port", bi, id)
+				}
+			}
+		}
+	}
+}
+
+// Step-2 invariants: hardware-writable constraint (H) always holds; the
+// conflict-aware allocator produces far fewer violations of F/G than
+// random assignment.
+func TestBankAllocationRespectsHardware(t *testing.T) {
+	cfg := arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}.Normalize()
+	g := testGraph(9, 600)
+	blocks := decomposeFor(t, g, cfg)
+	exp := newExpansion(cfg, g.NumNodes())
+	for _, b := range blocks {
+		if err := exp.expand(g, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ba, err := allocateBanks(g, cfg, blocks, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		for _, v := range b.Outputs {
+			bank := int(ba.bank[v])
+			if bank < 0 {
+				t.Fatalf("output %d unassigned", v)
+			}
+			if !cfg.CanWrite(b.OutPE[v], bank) {
+				// Constraint H is soft only through post-copies; the
+				// allocator itself must stay within the writable set.
+				t.Fatalf("output %d assigned bank %d outside PE reach", v, bank)
+			}
+		}
+	}
+}
+
+func countConflicts(t *testing.T, g *dag.Graph, cfg arch.Config, random bool) int {
+	t.Helper()
+	c, err := Compile(g, cfg, Options{Seed: 3, RandomBanks: random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Stats.CopiedWords
+}
+
+func TestConflictAwareBeatsRandom(t *testing.T) {
+	// Fig. 10(b): the paper reports ~292× fewer conflicts than random
+	// allocation; the exact factor depends on the workload, but ours must
+	// be at least an order of magnitude.
+	cfg := arch.Config{D: 3, B: 32, R: 64, Output: arch.OutPerLayer}
+	g := pc.Build(pc.Suite()[0], 0.25)
+	ours := countConflicts(t, g, cfg, false)
+	random := countConflicts(t, g, cfg, true)
+	if ours*5 > random {
+		t.Fatalf("conflict-aware allocation not clearly better: ours=%d random=%d", ours, random)
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	g := testGraph(11, 400)
+	cfg := arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}
+	a, err := Compile(g, cfg, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(g, cfg, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Prog.Pack(), b.Prog.Pack()
+	if len(pa) != len(pb) {
+		t.Fatalf("program sizes differ: %d vs %d bytes", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("programs differ at byte %d", i)
+		}
+	}
+}
+
+func TestCompileRejectsOneToOne(t *testing.T) {
+	g := testGraph(1, 50)
+	_, err := Compile(g, arch.Config{D: 2, B: 8, R: 16, Output: arch.OutOneToOne}, Options{})
+	if err == nil {
+		t.Fatal("expected rejection of one-to-one topology")
+	}
+}
+
+func TestCompileRejectsTooManyBanks(t *testing.T) {
+	g := testGraph(1, 50)
+	_, err := Compile(g, arch.Config{D: 3, B: 128, R: 16, Output: arch.OutPerLayer}, Options{})
+	if err == nil {
+		t.Fatal("expected rejection of B>64")
+	}
+}
+
+func TestCompileTinyRegisterFileFails(t *testing.T) {
+	// R=2 cannot hold even one block's inputs; the compiler must fail
+	// with a diagnostic rather than emit a wrong program.
+	g := testGraph(13, 200)
+	_, err := Compile(g, arch.Config{D: 3, B: 16, R: 2, Output: arch.OutPerLayer}, Options{})
+	if err == nil {
+		t.Skip("R=2 compiled successfully (unusually small working set)")
+	}
+	t.Log(err)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := testGraph(15, 600)
+	cfg := arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}
+	c, err := Compile(g, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats
+	if s.Execs != s.Blocks {
+		t.Errorf("execs %d != blocks %d", s.Execs, s.Blocks)
+	}
+	counts := c.Prog.Counts()
+	if counts[arch.KindExec] != s.Execs {
+		t.Errorf("program exec count %d != stats %d", counts[arch.KindExec], s.Execs)
+	}
+	if counts[arch.KindNop] != s.Nops {
+		t.Errorf("program nop count %d != stats %d", counts[arch.KindNop], s.Nops)
+	}
+	if s.Instructions != len(c.Prog.Instrs) {
+		t.Errorf("instruction count mismatch")
+	}
+	if s.Cycles != s.Instructions+cfg.D+1 {
+		t.Errorf("cycles %d != instrs+D+1", s.Cycles)
+	}
+	if s.MeanUtil <= 0 || s.MeanUtil > 1 || s.PeakUtil < s.MeanUtil {
+		t.Errorf("utilization accounting broken: mean=%v peak=%v", s.MeanUtil, s.PeakUtil)
+	}
+	if s.CompileSeconds <= 0 {
+		t.Errorf("compile time not recorded")
+	}
+}
+
+func TestReorderRespectsGaps(t *testing.T) {
+	// Synthetic draft: producer exec then dependent exec; they must end
+	// up ≥ D+1 slots apart.
+	ops := []*draftOp{
+		{kind: dExec, wrs: []ValID{0}},
+		{kind: dExec, reads: []ValID{0}, wrs: []ValID{1}},
+		{kind: dExec, wrs: []ValID{2}},
+		{kind: dExec, wrs: []ValID{3}},
+	}
+	sched := reorder(ops, 4, 3, 300)
+	pos := map[*draftOp]int{}
+	for i, op := range sched {
+		if op != nil {
+			pos[op] = i
+		}
+	}
+	if pos[ops[1]]-pos[ops[0]] < 4 {
+		t.Fatalf("dependent execs %d apart, want ≥4", pos[ops[1]]-pos[ops[0]])
+	}
+	// Independent execs should have been hoisted into the gap.
+	if pos[ops[2]] > pos[ops[1]] || pos[ops[3]] > pos[ops[1]] {
+		t.Fatalf("independent work not hoisted: %v", pos)
+	}
+}
+
+func TestWindowLimitsReordering(t *testing.T) {
+	// With window=1 the scheduler degenerates to in-order issue with nop
+	// slots; with the default window it finds the independent ops.
+	var ops []*draftOp
+	ops = append(ops, &draftOp{kind: dExec, wrs: []ValID{0}})
+	ops = append(ops, &draftOp{kind: dExec, reads: []ValID{0}, wrs: []ValID{1}})
+	for i := 2; i < 10; i++ {
+		ops = append(ops, &draftOp{kind: dExec, wrs: []ValID{ValID(i)}})
+	}
+	narrow := reorder(ops, 10, 3, 1)
+	wide := reorder(ops, 10, 3, 300)
+	nNops := func(s []*draftOp) int {
+		n := 0
+		for _, op := range s {
+			if op == nil {
+				n++
+			}
+		}
+		return n
+	}
+	if nNops(narrow) <= nNops(wide) {
+		t.Fatalf("narrow window should need more nop slots: %d vs %d", nNops(narrow), nNops(wide))
+	}
+}
+
+func TestProgramSizeReduction(t *testing.T) {
+	// §III-B: automatic write addressing should save on the order of 30%
+	// program size versus explicit write addresses.
+	g := pc.Build(pc.Suite()[0], 0.25)
+	c, err := Compile(g, arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto := c.Prog.BitSize()
+	fixed := c.Prog.FixedWriteAddrBits()
+	saving := 1 - float64(auto)/float64(fixed)
+	if saving < 0.05 || saving > 0.6 {
+		t.Fatalf("program-size saving %.1f%% outside plausible range", saving*100)
+	}
+}

@@ -1,0 +1,450 @@
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+)
+
+// Step 2c — draft schedule. The blocks are turned into an abstract
+// instruction list: just-in-time vector loads for leaf values, pre-copies
+// repairing input bank conflicts (constraint F violations), the exec
+// itself, post-copies moving outputs home when the output interconnect or
+// constraint G forced them elsewhere, and final stores making every DAG
+// sink observable in data memory. Concrete register addresses do not
+// exist yet — they are assigned by step 4 after reordering.
+
+type draftKind uint8
+
+const (
+	dLoad draftKind = iota
+	dCopy
+	dExec
+	dStore  // full-vector store (lane = bank)
+	dStore4 // gathered store of ≤4 words
+)
+
+type draftMove struct {
+	src ValID
+	dst int   // destination bank (copy) or memory lane (store4)
+	w   ValID // value produced by a copy move (InvalidVal for stores)
+}
+
+type draftOp struct {
+	kind  draftKind
+	block *Block
+	row   int         // memory row for load/store/store4
+	reads []ValID     // values read at issue
+	wrs   []ValID     // values written (land one/D cycles later)
+	moves []draftMove // copy/store4 lanes
+	// exec-only placement results
+	alias   map[ValID]ValID // block input -> value actually read
+	outVal  map[ValID]ValID // home output -> value the exec writes
+	outPE   map[ValID]arch.PE
+	outBank map[ValID]int // value written by exec -> bank
+}
+
+type valKind uint8
+
+const (
+	vLeaf valKind = iota
+	vNode
+	vTemp
+)
+
+type valInfo struct {
+	kind valKind
+	bank int8
+	// word is the data-memory home: the init word for leaves, the
+	// destination word for stored sinks, or the spill word once evicted.
+	word int32
+}
+
+type draftState struct {
+	g    *dag.Graph
+	cfg  arch.Config
+	rng  *rand.Rand
+	vals []valInfo
+	ops  []*draftOp
+
+	// init-region memory layout: per-row lane occupancy, and a per-bank
+	// cursor so first-fit stays O(1) amortized.
+	rowMask []uint64
+	rowHint []int
+	rowVals [][]ValID // leaf values placed per row (load grouping)
+	rows    int
+
+	loaded   []bool  // leaf already covered by a draft load
+	firstUse []int32 // leaf -> index of the first block consuming it
+
+	stats *Stats
+}
+
+func newDraftState(g *dag.Graph, cfg arch.Config, ba *bankAlloc, seed int64, stats *Stats) *draftState {
+	nv := g.NumNodes()
+	ds := &draftState{
+		g: g, cfg: cfg,
+		rng:     rand.New(rand.NewSource(seed ^ 0x9e3779b9)),
+		vals:    make([]valInfo, nv),
+		rowHint: make([]int, cfg.B),
+		loaded:  make([]bool, nv),
+		stats:   stats,
+	}
+	for i := 0; i < nv; i++ {
+		k := vNode
+		if g.Op(dag.NodeID(i)).IsLeaf() {
+			k = vLeaf
+		}
+		ds.vals[i] = valInfo{kind: k, bank: ba.bank[i], word: -1}
+	}
+	ds.firstUse = make([]int32, nv)
+	for i := range ds.firstUse {
+		ds.firstUse[i] = 1 << 30
+	}
+	return ds
+}
+
+func (ds *draftState) newTemp(bank int) ValID {
+	ds.vals = append(ds.vals, valInfo{kind: vTemp, bank: int8(bank), word: -1})
+	return ValID(len(ds.vals) - 1)
+}
+
+// placeLeafWord assigns a leaf value its init-memory word; lane equals the
+// value's home bank because vector loads deliver lane i to bank i.
+func (ds *draftState) placeLeafWord(v ValID) {
+	if ds.vals[v].word >= 0 {
+		return
+	}
+	bank := int(ds.vals[v].bank)
+	r := ds.rowHint[bank]
+	for {
+		if r >= len(ds.rowMask) {
+			ds.rowMask = append(ds.rowMask, 0)
+		}
+		if ds.rowMask[r]&(1<<uint(bank)) == 0 {
+			ds.rowMask[r] |= 1 << uint(bank)
+			ds.vals[v].word = int32(r*ds.cfg.B + bank)
+			ds.rowHint[bank] = r
+			for r >= len(ds.rowVals) {
+				ds.rowVals = append(ds.rowVals, nil)
+			}
+			ds.rowVals[r] = append(ds.rowVals[r], v)
+			if r+1 > ds.rows {
+				ds.rows = r + 1
+			}
+			return
+		}
+		r++
+	}
+}
+
+// placeLeaves lays every leaf out in first-use order with per-bank
+// first-fit (lane must equal the home bank). Rows therefore mix lanes
+// whose first uses are spread over the schedule; the lookahead filter in
+// emitLoads decides which lanes ride along on each load, bounding both
+// load count and register pressure.
+func (ds *draftState) placeLeaves(blocks []*Block) {
+	for bi, b := range blocks {
+		for _, v := range b.Inputs {
+			if ds.vals[v].kind != vLeaf {
+				continue
+			}
+			if int32(bi) < ds.firstUse[v] {
+				ds.firstUse[v] = int32(bi)
+			}
+			ds.placeLeafWord(v)
+		}
+	}
+}
+
+// placeAt records leaf v at (row, lane=bank).
+func (ds *draftState) placeAt(v ValID, r, bank int) {
+	ds.rowMask[r] |= 1 << uint(bank)
+	ds.vals[v].word = int32(r*ds.cfg.B + bank)
+	for r >= len(ds.rowVals) {
+		ds.rowVals = append(ds.rowVals, nil)
+	}
+	ds.rowVals[r] = append(ds.rowVals[r], v)
+	if r+1 > ds.rows {
+		ds.rows = r + 1
+	}
+}
+
+// loadLookahead is how many blocks ahead a vector load may prefetch:
+// lanes of a touched row whose first use lies within this window ride
+// along for free, amortizing the load without blowing up register
+// pressure (leaves are laid out in first-use order, so row neighbours
+// are temporally close).
+const loadLookahead = 8
+
+// emitLoads brings the block's leaf inputs into the register file, one
+// masked vector load per touched memory row (fig. 5(b)).
+func (ds *draftState) emitLoads(block *Block, bi int) {
+	var rows []int
+	seen := map[int]bool{}
+	for _, v := range block.Inputs {
+		if ds.vals[v].kind != vLeaf || ds.loaded[v] {
+			continue
+		}
+		row := int(ds.vals[v].word) / ds.cfg.B
+		if !seen[row] {
+			seen[row] = true
+			rows = append(rows, row)
+		}
+	}
+	for _, row := range rows {
+		op := &draftOp{kind: dLoad, row: row}
+		for _, v := range ds.rowVals[row] {
+			if !ds.loaded[v] && ds.firstUse[v] <= int32(bi+loadLookahead) {
+				ds.loaded[v] = true
+				op.wrs = append(op.wrs, v)
+			}
+		}
+		ds.ops = append(ds.ops, op)
+		ds.stats.Loads++
+	}
+}
+
+// repairInputs resolves constraint-F violations: when several distinct
+// inputs share a home bank, all but one are copied into free banks first;
+// the exec then reads the replicas.
+func (ds *draftState) repairInputs(block *Block) map[ValID]ValID {
+	alias := make(map[ValID]ValID, len(block.Inputs))
+	var used uint64
+	var moves []draftMove
+	// First value per bank stays; later arrivals are repaired, in the
+	// deterministic block-input order.
+	for _, v := range block.Inputs {
+		b := int(ds.vals[v].bank)
+		if used&(1<<uint(b)) == 0 {
+			used |= 1 << uint(b)
+			alias[v] = v
+			continue
+		}
+		free := ^used & (uint64(1)<<uint(ds.cfg.B) - 1)
+		if free == 0 {
+			// Cannot happen: ≤B distinct inputs and a conflict implies
+			// at least one unused bank.
+			panic("compiler: no free bank for input repair")
+		}
+		dst := nthSetBit(free, ds.rng.Intn(bits.OnesCount64(free)))
+		used |= 1 << uint(dst)
+		tv := ds.newTemp(dst)
+		alias[v] = tv
+		moves = append(moves, draftMove{src: v, dst: dst, w: tv})
+		ds.stats.InputConflicts++
+	}
+	ds.emitCopies(moves)
+	return alias
+}
+
+// emitCopies batches moves into copy_4 instructions. Within one
+// instruction source banks must be distinct (one read port per bank) and
+// destination banks must be distinct (one write port per bank).
+func (ds *draftState) emitCopies(moves []draftMove) {
+	var cur *draftOp
+	var srcMask, dstMask uint64
+	flush := func() {
+		if cur != nil {
+			ds.ops = append(ds.ops, cur)
+			ds.stats.Copies++
+			cur, srcMask, dstMask = nil, 0, 0
+		}
+	}
+	for _, m := range moves {
+		sb := uint(ds.vals[m.src].bank)
+		db := uint(m.dst)
+		if cur != nil && (len(cur.moves) == arch.MaxMoves || srcMask&(1<<sb) != 0 || dstMask&(1<<db) != 0) {
+			flush()
+		}
+		if cur == nil {
+			cur = &draftOp{kind: dCopy}
+		}
+		cur.moves = append(cur.moves, m)
+		cur.reads = append(cur.reads, m.src)
+		cur.wrs = append(cur.wrs, m.w)
+		srcMask |= 1 << sb
+		dstMask |= 1 << db
+		ds.stats.CopiedWords++
+	}
+	flush()
+}
+
+// matchOutputs assigns each block output a write bank within its PE's
+// reach, preferring home banks and completing the assignment with
+// augmenting paths (a perfect matching always exists for the supported
+// topologies: the writable sets form a laminar family of dyadic
+// intervals, so Hall's condition holds for distinct PEs).
+func (ds *draftState) matchOutputs(block *Block) (map[ValID]int, error) {
+	taken := make(map[int]ValID, len(block.Outputs))
+	assign := make(map[ValID]int, len(block.Outputs))
+	// First pass: home banks.
+	for _, v := range block.Outputs {
+		home := int(ds.vals[v].bank)
+		if _, busy := taken[home]; !busy && ds.cfg.CanWrite(block.OutPE[v], home) {
+			taken[home] = v
+			assign[v] = home
+		}
+	}
+	// Second pass: Kuhn augmenting for the rest.
+	var augment func(v ValID, seen map[int]bool) bool
+	augment = func(v ValID, seen map[int]bool) bool {
+		for _, b := range ds.cfg.WritableBanks(block.OutPE[v]) {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			holder, busy := taken[b]
+			if !busy || augment(holder, seen) {
+				taken[b] = v
+				assign[v] = b
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range block.Outputs {
+		if _, ok := assign[v]; ok {
+			continue
+		}
+		if !augment(v, make(map[int]bool)) {
+			return nil, fmt.Errorf("compiler: cannot match %d outputs to banks (topology %s)",
+				len(block.Outputs), ds.cfg.Output)
+		}
+	}
+	return assign, nil
+}
+
+// emitExec appends the exec op plus post-copies that move displaced
+// outputs to their home banks.
+func (ds *draftState) emitExec(block *Block, alias map[ValID]ValID) error {
+	assign, err := ds.matchOutputs(block)
+	if err != nil {
+		return err
+	}
+	op := &draftOp{
+		kind:    dExec,
+		block:   block,
+		alias:   alias,
+		outVal:  make(map[ValID]ValID, len(block.Outputs)),
+		outPE:   block.OutPE,
+		outBank: make(map[ValID]int, len(block.Outputs)),
+	}
+	seen := make(map[ValID]bool, len(block.Inputs))
+	for _, v := range block.Inputs {
+		rv := alias[v]
+		if !seen[rv] {
+			seen[rv] = true
+			op.reads = append(op.reads, rv)
+		}
+	}
+	var post []draftMove
+	for _, v := range block.Outputs {
+		b := assign[v]
+		if b == int(ds.vals[v].bank) {
+			op.outVal[v] = v
+			op.outBank[v] = b
+			op.wrs = append(op.wrs, v)
+			continue
+		}
+		// Displaced: exec writes a temp, a post-copy moves it home.
+		tv := ds.newTemp(b)
+		op.outVal[v] = tv
+		op.outBank[tv] = b
+		op.wrs = append(op.wrs, tv)
+		post = append(post, draftMove{src: tv, dst: int(ds.vals[v].bank), w: v})
+		ds.stats.OutputMoves++
+	}
+	ds.ops = append(ds.ops, op)
+	ds.stats.Execs++
+	// Utilization accounting: arithmetic PEs this cycle.
+	busy := 0
+	for _, p := range block.PEOps {
+		if p == arch.PEAdd || p == arch.PEMul {
+			busy++
+		}
+	}
+	u := float64(busy) / float64(ds.cfg.NumPEs())
+	if u > ds.stats.PeakUtil {
+		ds.stats.PeakUtil = u
+	}
+	ds.stats.MeanUtil += u // normalized at the end of Compile
+	ds.emitCopies(post)
+	return nil
+}
+
+// emitStores writes every DAG sink to data memory. Sinks that are leaves
+// already live in the init region; interior sinks get a word in the
+// output region (lane = home bank) and are flushed with store or store_4.
+func (ds *draftState) emitStores() map[dag.NodeID]int {
+	outWord := make(map[dag.NodeID]int)
+	byRow := map[int][]ValID{}
+	var order []int
+	for _, sink := range ds.g.Outputs() {
+		v := ValID(sink)
+		if ds.vals[v].kind == vLeaf {
+			ds.placeLeafWord(v)
+			outWord[sink] = int(ds.vals[v].word)
+			continue
+		}
+		bank := int(ds.vals[v].bank)
+		// Reuse the init-region first-fit allocator: the output region
+		// interleaves with it harmlessly since words are unique.
+		r := ds.rowHint[bank]
+		for {
+			if r >= len(ds.rowMask) {
+				ds.rowMask = append(ds.rowMask, 0)
+			}
+			if ds.rowMask[r]&(1<<uint(bank)) == 0 {
+				ds.rowMask[r] |= 1 << uint(bank)
+				ds.vals[v].word = int32(r*ds.cfg.B + bank)
+				ds.rowHint[bank] = r
+				if r+1 > ds.rows {
+					ds.rows = r + 1
+				}
+				break
+			}
+			r++
+		}
+		outWord[sink] = int(ds.vals[v].word)
+		row := int(ds.vals[v].word) / ds.cfg.B
+		if _, ok := byRow[row]; !ok {
+			order = append(order, row)
+		}
+		byRow[row] = append(byRow[row], v)
+	}
+	for _, row := range order {
+		vals := byRow[row]
+		if len(vals) > arch.MaxMoves {
+			// Full-vector store: every value sits in its lane's bank.
+			ds.ops = append(ds.ops, &draftOp{kind: dStore, row: row, reads: vals})
+			ds.stats.Stores++
+			continue
+		}
+		op := &draftOp{kind: dStore4, row: row}
+		for _, v := range vals {
+			op.moves = append(op.moves, draftMove{src: v, dst: int(ds.vals[v].word) % ds.cfg.B, w: InvalidVal})
+			op.reads = append(op.reads, v)
+		}
+		ds.ops = append(ds.ops, op)
+		ds.stats.Stores++
+	}
+	return outWord
+}
+
+// buildDraft runs loads/repairs/execs/stores for every block in schedule
+// order and returns the draft op list plus the sink→word map.
+func (ds *draftState) buildDraft(blocks []*Block) (map[dag.NodeID]int, error) {
+	ds.placeLeaves(blocks)
+	for bi, b := range blocks {
+		ds.emitLoads(b, bi)
+		alias := ds.repairInputs(b)
+		if err := ds.emitExec(b, alias); err != nil {
+			return nil, err
+		}
+	}
+	return ds.emitStores(), nil
+}

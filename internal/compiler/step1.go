@@ -1,0 +1,352 @@
+package compiler
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+)
+
+// Step 1 — block decomposition (§IV-A, algorithm 1).
+//
+// A node's cone (all of its not-yet-mapped ancestors) is schedulable on a
+// depth-d subtree slot iff the longest chain of unmapped ancestors ending
+// at the node is ≤ d; replication and bypass chains make any such cone fit
+// (fig. 9(c)). Cone depth is tracked incrementally, capped at D+1
+// ("unschedulable"), and only ever decreases as ancestors get mapped, so
+// updates are cheap and monotone.
+//
+// Blocks are built greedily: a seed subgraph is chosen from a small
+// lookahead of the DFS-ordered candidate heap preferring the deepest cone
+// (objective C: utilization), then remaining subtree slots — managed as a
+// buddy allocator over dyadic subtrees — are filled with DFS-adjacent
+// cones (objective D: locality keeps inter-block dependencies short).
+
+type candHeap struct {
+	key   []int64 // node -> scheduling priority (partition, then DFS order)
+	items []dag.NodeID
+}
+
+func (h *candHeap) Len() int           { return len(h.items) }
+func (h *candHeap) Less(i, j int) bool { return h.key[h.items[i]] < h.key[h.items[j]] }
+func (h *candHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *candHeap) Push(x interface{}) { h.items = append(h.items, x.(dag.NodeID)) }
+func (h *candHeap) Pop() interface{} {
+	n := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return n
+}
+
+// slotPool is a buddy allocator over subtree slots: a free slot of depth d
+// is the full subtree rooted at a layer-d PE. Allocating depth d from a
+// deeper slot splits it, releasing the sibling subtrees.
+type slotPool struct {
+	free [][]arch.PE // indexed by depth 1..D
+}
+
+func newSlotPool(cfg arch.Config) *slotPool {
+	p := &slotPool{free: make([][]arch.PE, cfg.D+1)}
+	for t := 0; t < cfg.Trees(); t++ {
+		p.free[cfg.D] = append(p.free[cfg.D], arch.PE{Tree: t, Layer: cfg.D, Index: 0})
+	}
+	return p
+}
+
+func (p *slotPool) maxDepth() int {
+	for d := len(p.free) - 1; d >= 1; d-- {
+		if len(p.free[d]) > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func (p *slotPool) alloc(d int) (arch.PE, bool) {
+	if d < 1 || d >= len(p.free) {
+		return arch.PE{}, false
+	}
+	// Exact fit first.
+	if len(p.free[d]) > 0 {
+		s := p.free[d][len(p.free[d])-1]
+		p.free[d] = p.free[d][:len(p.free[d])-1]
+		return s, true
+	}
+	// Split the shallowest deeper slot.
+	for dd := d + 1; dd < len(p.free); dd++ {
+		if len(p.free[dd]) == 0 {
+			continue
+		}
+		s := p.free[dd][len(p.free[dd])-1]
+		p.free[dd] = p.free[dd][:len(p.free[dd])-1]
+		for l := dd; l > d; l-- {
+			// Keep the left child, free the right sibling.
+			p.free[l-1] = append(p.free[l-1], arch.PE{Tree: s.Tree, Layer: l - 1, Index: 2*s.Index + 1})
+			s = arch.PE{Tree: s.Tree, Layer: l - 1, Index: 2 * s.Index}
+		}
+		return s, true
+	}
+	return arch.PE{}, false
+}
+
+type decomposer struct {
+	g      *dag.Graph
+	cfg    arch.Config
+	opts   Options
+	depth  []int32 // cone depth, capped at D+1; 0 for leaves/mapped
+	mapped []bool
+	inHeap []bool
+	heap   *candHeap
+	// claim stamps avoid reallocating per-block sets.
+	claim      []int32
+	claimStamp int32
+	visit      []int32
+	visitStamp int32
+}
+
+func newDecomposer(g *dag.Graph, cfg arch.Config, opts Options, keys []int64) *decomposer {
+	n := g.NumNodes()
+	d := &decomposer{
+		g: g, cfg: cfg, opts: opts,
+		depth:  make([]int32, n),
+		mapped: make([]bool, n),
+		inHeap: make([]bool, n),
+		heap:   &candHeap{key: keys},
+		claim:  make([]int32, n),
+		visit:  make([]int32, n),
+	}
+	cap := int32(cfg.D + 1)
+	for i := 0; i < n; i++ {
+		id := dag.NodeID(i)
+		if g.Op(id).IsLeaf() {
+			continue
+		}
+		dep := int32(1)
+		for _, a := range g.Args(id) {
+			if !g.Op(a).IsLeaf() && d.depth[a]+1 > dep {
+				dep = d.depth[a] + 1
+			}
+		}
+		if dep > cap {
+			dep = cap
+		}
+		d.depth[i] = dep
+		if dep <= int32(cfg.D) {
+			d.push(id)
+		}
+	}
+	return d
+}
+
+func (d *decomposer) push(n dag.NodeID) {
+	if !d.inHeap[n] && !d.mapped[n] {
+		d.inHeap[n] = true
+		heap.Push(d.heap, n)
+	}
+}
+
+// pop returns the DFS-earliest valid candidate, or -1.
+func (d *decomposer) pop() dag.NodeID {
+	for d.heap.Len() > 0 {
+		n := heap.Pop(d.heap).(dag.NodeID)
+		d.inHeap[n] = false
+		if !d.mapped[n] && d.depth[n] <= int32(d.cfg.D) {
+			return n
+		}
+	}
+	return dag.InvalidNode
+}
+
+// cone gathers all unmapped interior ancestors of sink (including sink).
+// Binary fan-in and depth ≤ D bound the cone at 2^D − 1 distinct nodes.
+func (d *decomposer) cone(sink dag.NodeID, out []dag.NodeID) []dag.NodeID {
+	d.visitStamp++
+	stack := []dag.NodeID{sink}
+	d.visit[sink] = d.visitStamp
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		for _, a := range d.g.Args(n) {
+			if d.g.Op(a).IsLeaf() || d.mapped[a] || d.visit[a] == d.visitStamp {
+				continue
+			}
+			d.visit[a] = d.visitStamp
+			stack = append(stack, a)
+		}
+	}
+	return out
+}
+
+func (d *decomposer) coneClaimed(cone []dag.NodeID) bool {
+	for _, n := range cone {
+		if d.claim[n] == d.claimStamp {
+			return true
+		}
+	}
+	return false
+}
+
+// commit marks cone nodes mapped and propagates the monotone depth
+// decrease to downstream consumers, enqueueing nodes that become
+// schedulable.
+func (d *decomposer) commit(block *Block) int {
+	var work []dag.NodeID
+	mappedCount := 0
+	for _, sg := range block.Subgraphs {
+		for _, n := range sg.Nodes {
+			d.mapped[n] = true
+			mappedCount++
+		}
+	}
+	for _, sg := range block.Subgraphs {
+		for _, n := range sg.Nodes {
+			work = append(work, d.g.Succs(n)...)
+		}
+	}
+	cap := int32(d.cfg.D + 1)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if d.mapped[n] || d.g.Op(n).IsLeaf() {
+			continue
+		}
+		dep := int32(1)
+		for _, a := range d.g.Args(n) {
+			if d.g.Op(a).IsLeaf() || d.mapped[a] {
+				continue
+			}
+			da := d.depth[a] + 1
+			if da > dep {
+				dep = da
+			}
+		}
+		if dep > cap {
+			dep = cap
+		}
+		if dep < d.depth[n] {
+			d.depth[n] = dep
+			work = append(work, d.g.Succs(n)...)
+		}
+		if d.depth[n] <= int32(d.cfg.D) {
+			d.push(n)
+		}
+	}
+	return mappedCount
+}
+
+// decompose runs step 1 and returns the block list in schedule order.
+func decompose(g *dag.Graph, cfg arch.Config, opts Options, keys []int64) ([]*Block, error) {
+	d := newDecomposer(g, cfg, opts, keys)
+	total := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if !g.Op(dag.NodeID(i)).IsLeaf() {
+			total++
+		}
+	}
+	var blocks []*Block
+	mapped := 0
+	coneBuf := make([]dag.NodeID, 0, 1<<uint(cfg.D))
+	for mapped < total {
+		seed := d.bestSeed()
+		if seed == dag.InvalidNode {
+			// Safety resweep: the heap can transiently miss candidates
+			// only through a bookkeeping bug; rebuild rather than hang.
+			resweep := false
+			for i := 0; i < g.NumNodes(); i++ {
+				id := dag.NodeID(i)
+				if !g.Op(id).IsLeaf() && !d.mapped[id] && d.depth[id] <= int32(cfg.D) {
+					d.push(id)
+					resweep = true
+				}
+			}
+			if !resweep {
+				return nil, fmt.Errorf("compiler: %d nodes unschedulable (graph depth bookkeeping broken)", total-mapped)
+			}
+			continue
+		}
+		d.claimStamp++
+		block := &Block{}
+		slots := newSlotPool(cfg)
+		// Seed subgraph.
+		coneBuf = d.cone(seed, coneBuf[:0])
+		root, _ := slots.alloc(int(d.depth[seed]))
+		d.addSubgraph(block, seed, coneBuf, root)
+		// Fill remaining slots with DFS-adjacent cones.
+		var rejected []dag.NodeID
+		tries := 0
+		for slots.maxDepth() >= 1 && tries < d.opts.FillLookahead {
+			n := d.pop()
+			if n == dag.InvalidNode {
+				break
+			}
+			dep := int(d.depth[n])
+			if dep > slots.maxDepth() {
+				rejected = append(rejected, n)
+				tries++
+				continue
+			}
+			coneBuf = d.cone(n, coneBuf[:0])
+			if d.coneClaimed(coneBuf) {
+				rejected = append(rejected, n)
+				tries++
+				continue
+			}
+			r, ok := slots.alloc(dep)
+			if !ok {
+				rejected = append(rejected, n)
+				tries++
+				continue
+			}
+			d.addSubgraph(block, n, coneBuf, r)
+		}
+		mapped += d.commit(block)
+		for _, n := range rejected {
+			d.push(n)
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks, nil
+}
+
+// bestSeed pops up to SeedLookahead candidates and keeps the deepest cone
+// (ties broken toward the DFS-earliest, which is the pop order).
+func (d *decomposer) bestSeed() dag.NodeID {
+	best := dag.InvalidNode
+	var bestDepth int32 = -1
+	var others []dag.NodeID
+	for i := 0; i < d.opts.SeedLookahead; i++ {
+		n := d.pop()
+		if n == dag.InvalidNode {
+			break
+		}
+		if d.depth[n] > bestDepth {
+			if best != dag.InvalidNode {
+				others = append(others, best)
+			}
+			best, bestDepth = n, d.depth[n]
+			if bestDepth == int32(d.cfg.D) {
+				break // cannot do better
+			}
+		} else {
+			others = append(others, n)
+		}
+	}
+	for _, n := range others {
+		d.push(n)
+	}
+	return best
+}
+
+func (d *decomposer) addSubgraph(block *Block, sink dag.NodeID, cone []dag.NodeID, root arch.PE) {
+	sg := Subgraph{
+		Sink:  sink,
+		Nodes: append([]dag.NodeID(nil), cone...),
+		Depth: int(d.depth[sink]),
+		Root:  root,
+	}
+	for _, n := range sg.Nodes {
+		d.claim[n] = d.claimStamp
+	}
+	block.Subgraphs = append(block.Subgraphs, sg)
+}

@@ -1,0 +1,200 @@
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+)
+
+// Step 2b — register-bank mapping (§IV-B, algorithm 2).
+//
+// Every io value (DAG leaves, which enter through vector loads whose lane
+// fixes their bank, and block outputs, whose PE fixes the banks it can
+// reach) gets a home bank. The allocator keeps a compatible-bank set per
+// value, always maps the value with the fewest compatible banks next
+// (found in O(B) through the Mnodes bucket structure), picks uniformly
+// among compatible banks (objective J: balance), and when no compatible
+// bank remains falls back to the least-contended one (objective I:
+// minimize conflicts). Each assignment removes the chosen bank from the
+// compatible sets of values read or written simultaneously (constraints F
+// and G); output values never leave their PE's writable set (constraint
+// H is a hard hardware restriction).
+//
+// Banks are represented as bits of a uint64, which caps B at 64 — the
+// largest point of the paper's design space.
+
+type bankAlloc struct {
+	bank []int8 // home bank per value, -1 while unassigned
+	// conflict statistics
+	fallbacks int
+}
+
+type valConstraints struct {
+	compat []uint64 // remaining compatible banks per value
+	groups [][]ValID
+	member [][]int32 // value -> indexes into groups
+}
+
+func allocateBanks(g *dag.Graph, cfg arch.Config, blocks []*Block, opts Options) (*bankAlloc, error) {
+	if cfg.B > 64 {
+		return nil, fmt.Errorf("compiler: B=%d exceeds the 64-bank allocator limit", cfg.B)
+	}
+	nv := g.NumNodes()
+	allBanks := uint64(1)<<uint(cfg.B) - 1
+
+	vc := &valConstraints{
+		compat: make([]uint64, nv),
+		member: make([][]int32, nv),
+	}
+	isIO := make([]bool, nv)
+
+	// Initialize compatible sets.
+	for i := 0; i < nv; i++ {
+		if g.Op(dag.NodeID(i)).IsLeaf() {
+			vc.compat[i] = allBanks
+			isIO[i] = true
+		}
+	}
+	hard := make([]uint64, nv) // hardware-writable mask for outputs
+	for i := range hard {
+		hard[i] = allBanks
+	}
+	for _, b := range blocks {
+		for _, v := range b.Outputs {
+			var m uint64
+			for _, bk := range cfg.WritableBanks(b.OutPE[v]) {
+				m |= 1 << uint(bk)
+			}
+			vc.compat[v] = m
+			hard[v] = m
+			isIO[v] = true
+		}
+	}
+
+	// Constraint groups: inputs of a block must differ pairwise (F),
+	// outputs of a block must differ pairwise (G).
+	addGroup := func(vals []ValID) {
+		if len(vals) < 2 {
+			return
+		}
+		gi := int32(len(vc.groups))
+		vc.groups = append(vc.groups, vals)
+		for _, v := range vals {
+			vc.member[v] = append(vc.member[v], gi)
+		}
+	}
+	for _, b := range blocks {
+		addGroup(b.Inputs)
+		addGroup(b.Outputs)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ba := &bankAlloc{bank: make([]int8, nv)}
+	for i := range ba.bank {
+		ba.bank[i] = -1
+	}
+
+	if opts.RandomBanks {
+		// Fig. 10(b) baseline: uniform random placement, ignoring F/G
+		// but still honouring the hardware-writable sets.
+		for i := 0; i < nv; i++ {
+			if !isIO[i] {
+				continue
+			}
+			m := hard[i]
+			k := rng.Intn(bits.OnesCount64(m))
+			ba.bank[i] = int8(nthSetBit(m, k))
+		}
+		return ba, nil
+	}
+
+	// Mnodes buckets keyed by |compat|; entries are revalidated lazily.
+	buckets := make([][]ValID, cfg.B+1)
+	pending := 0
+	for i := 0; i < nv; i++ {
+		if isIO[i] {
+			c := bits.OnesCount64(vc.compat[i])
+			buckets[c] = append(buckets[c], ValID(i))
+			pending++
+		}
+	}
+
+	for pending > 0 {
+		// Lowest non-empty bucket with a still-valid entry.
+		var v ValID = InvalidVal
+		for c := 0; c <= cfg.B && v == InvalidVal; c++ {
+			for len(buckets[c]) > 0 {
+				cand := buckets[c][len(buckets[c])-1]
+				buckets[c] = buckets[c][:len(buckets[c])-1]
+				if ba.bank[cand] >= 0 {
+					continue // already assigned (stale entry)
+				}
+				if bits.OnesCount64(vc.compat[cand]) != c {
+					continue // moved to another bucket (stale entry)
+				}
+				v = cand
+				break
+			}
+		}
+		if v == InvalidVal {
+			return nil, fmt.Errorf("compiler: bank allocator buckets drained with %d values pending", pending)
+		}
+		pending--
+
+		var chosen int
+		if m := vc.compat[v]; m != 0 {
+			chosen = nthSetBit(m, rng.Intn(bits.OnesCount64(m)))
+		} else {
+			// No conflict-free bank remains: pick the least-contended
+			// hardware-legal bank, measured over this value's groups.
+			ba.fallbacks++
+			contention := make([]int, cfg.B)
+			for _, gi := range vc.member[v] {
+				for _, u := range vc.groups[gi] {
+					if u != v && ba.bank[u] >= 0 {
+						contention[ba.bank[u]]++
+					}
+				}
+			}
+			best, bestC := -1, 1<<30
+			for bk := 0; bk < cfg.B; bk++ {
+				if hard[v]&(1<<uint(bk)) == 0 {
+					continue
+				}
+				if contention[bk] < bestC {
+					best, bestC = bk, contention[bk]
+				}
+			}
+			chosen = best
+		}
+		ba.bank[v] = int8(chosen)
+
+		// Constraint propagation: remove the bank from partners' sets.
+		for _, gi := range vc.member[v] {
+			for _, u := range vc.groups[gi] {
+				if u == v || ba.bank[u] >= 0 {
+					continue
+				}
+				bit := uint64(1) << uint(chosen)
+				if vc.compat[u]&bit == 0 {
+					continue
+				}
+				vc.compat[u] &^= bit
+				c := bits.OnesCount64(vc.compat[u])
+				buckets[c] = append(buckets[c], u)
+			}
+		}
+	}
+	return ba, nil
+}
+
+// nthSetBit returns the position of the k-th (0-based) set bit of m.
+func nthSetBit(m uint64, k int) int {
+	for i := 0; i < k; i++ {
+		m &= m - 1
+	}
+	return bits.TrailingZeros64(m)
+}

@@ -1,0 +1,524 @@
+package compiler
+
+import (
+	"fmt"
+
+	"dpuv2/internal/arch"
+)
+
+// Step 4 — register allocation, spilling and emission (§IV-D).
+//
+// The hardware writes every incoming value to the lowest free address of
+// its bank (valid-bit priority encoder), so the compiler runs the exact
+// same deterministic policy over the schedule: it tracks per-bank
+// occupancy cycle by cycle, learns each value's address when its write
+// "lands", encodes read addresses and last-read valid_rst bits, inserts
+// nops for residual RAW hazards and write-port collisions, and when a
+// bank would overflow spills the resident value with the furthest next
+// use (Belady) via store_4, reloading it before its next consumer.
+//
+// Micro-timing contract (the simulator implements the identical rules):
+//   - an instruction issued at cycle t performs its register reads (and
+//     valid_rst frees) at t;
+//   - its writes land at the end of cycle t+1 (load, copy) or t+D (exec)
+//     and become readable from cycle t+2 / t+D+1;
+//   - within one cycle, frees apply before landing writes allocate;
+//   - at most one write may land per bank per cycle.
+
+const useInf = int32(1 << 30)
+
+type pendingWrite struct {
+	val  ValID
+	bank int
+}
+
+type regalloc struct {
+	ds  *draftState
+	cfg arch.Config
+
+	out []*arch.Instr
+
+	loc      []int16 // register address per resident value
+	resident []bool
+	spilled  []bool // evicted to memory; reload before the next use
+
+	occ      [][]bool
+	occCnt   []int
+	inflight []int // writes scheduled but not landed, per bank
+
+	// pipeline ring: writes landing at cycle c live in ring[c%len].
+	ring     [][]pendingWrite
+	ringMask []uint64 // banks written per ring slot
+
+	uses   [][]int32 // per value: schedule positions of planned reads
+	usePtr []int32
+
+	spillHint []int // spill-region first-fit cursor per bank
+
+	stats *Stats
+}
+
+func newRegalloc(ds *draftState, sched []*draftOp, stats *Stats) *regalloc {
+	cfg := ds.cfg
+	nv := len(ds.vals)
+	r := &regalloc{
+		ds: ds, cfg: cfg,
+		loc:       make([]int16, nv),
+		resident:  make([]bool, nv),
+		spilled:   make([]bool, nv),
+		occ:       make([][]bool, cfg.B),
+		occCnt:    make([]int, cfg.B),
+		inflight:  make([]int, cfg.B),
+		ring:      make([][]pendingWrite, cfg.D+2),
+		ringMask:  make([]uint64, cfg.D+2),
+		uses:      make([][]int32, nv),
+		usePtr:    make([]int32, nv),
+		spillHint: make([]int, cfg.B),
+		stats:     stats,
+	}
+	for b := range r.occ {
+		r.occ[b] = make([]bool, cfg.R)
+	}
+	for i := range r.loc {
+		r.loc[i] = -1
+	}
+	for j, op := range sched {
+		if op == nil {
+			continue
+		}
+		for _, v := range op.reads {
+			r.uses[v] = append(r.uses[v], int32(j))
+		}
+	}
+	return r
+}
+
+func (r *regalloc) cycle() int { return len(r.out) }
+
+func (r *regalloc) bankOf(v ValID) int { return int(r.ds.vals[v].bank) }
+
+func (r *regalloc) nextUse(v ValID) int32 {
+	if int(r.usePtr[v]) < len(r.uses[v]) {
+		return r.uses[v][r.usePtr[v]]
+	}
+	return useInf
+}
+
+// consume advances v's use pointer and reports whether that read was the
+// last planned one (→ valid_rst).
+func (r *regalloc) consume(v ValID) bool {
+	r.usePtr[v]++
+	return int(r.usePtr[v]) >= len(r.uses[v])
+}
+
+func (r *regalloc) scheduleWrite(v ValID, bank, land int) {
+	slot := land % len(r.ring)
+	r.ring[slot] = append(r.ring[slot], pendingWrite{v, bank})
+	r.ringMask[slot] |= 1 << uint(bank)
+	r.inflight[bank]++
+}
+
+// flushLand applies the writes landing at cycle t with lowest-free-address
+// allocation, after the issuing instruction's frees (caller ordering).
+func (r *regalloc) flushLand(t int) error {
+	slot := t % len(r.ring)
+	for _, pw := range r.ring[slot] {
+		addr := -1
+		for a := 0; a < r.cfg.R; a++ {
+			if !r.occ[pw.bank][a] {
+				addr = a
+				break
+			}
+		}
+		if addr < 0 {
+			return fmt.Errorf("compiler: bank %d overflow at cycle %d (capacity planning bug)", pw.bank, t)
+		}
+		r.occ[pw.bank][addr] = true
+		r.occCnt[pw.bank]++
+		r.inflight[pw.bank]--
+		r.loc[pw.val] = int16(addr)
+		r.resident[pw.val] = true
+	}
+	r.ring[slot] = r.ring[slot][:0]
+	r.ringMask[slot] = 0
+	return nil
+}
+
+// emit appends instr at the current cycle: frees apply now, writes land at
+// t+lat, then writes landing exactly at t are applied.
+func (r *regalloc) emit(in *arch.Instr, frees []ValID, writes []pendingWrite, lat int) error {
+	t := r.cycle()
+	r.out = append(r.out, in)
+	for _, v := range frees {
+		b := r.bankOf(v)
+		r.occ[b][r.loc[v]] = false
+		r.occCnt[b]--
+		r.resident[v] = false
+		r.loc[v] = -1
+	}
+	for _, w := range writes {
+		r.scheduleWrite(w.val, w.bank, t+lat)
+	}
+	return r.flushLand(t)
+}
+
+func (r *regalloc) emitNop() error {
+	r.stats.Nops++
+	return r.emit(&arch.Instr{Kind: arch.KindNop}, nil, nil, 1)
+}
+
+func (r *regalloc) writeConflict(mask uint64, land int) bool {
+	return r.ringMask[land%len(r.ring)]&mask != 0
+}
+
+// pickVictim selects the resident, unpinned value of bank with the
+// furthest next use. O(values); spills are rare at sane R.
+func (r *regalloc) pickVictim(bank int, pinned map[ValID]bool, already []ValID) ValID {
+	best := InvalidVal
+	var bestUse int32 = -1
+	for v := range r.ds.vals {
+		vid := ValID(v)
+		if !r.resident[vid] || r.bankOf(vid) != bank || pinned[vid] {
+			continue
+		}
+		dup := false
+		for _, u := range already {
+			if u == vid {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if nu := r.nextUse(vid); nu > bestUse {
+			bestUse = nu
+			best = vid
+		}
+	}
+	return best
+}
+
+// spillWord returns (allocating if needed) the memory word backing v when
+// evicted. Values with an existing word (leaves, stored sinks, previously
+// spilled values) reuse it; the stored image is identical either way.
+func (r *regalloc) spillWord(v ValID) int {
+	if r.ds.vals[v].word >= 0 {
+		return int(r.ds.vals[v].word)
+	}
+	bank := r.bankOf(v)
+	row := r.spillHint[bank]
+	if row < r.ds.rows {
+		row = r.ds.rows // spill region sits above the init/output region
+	}
+	for {
+		for row >= len(r.ds.rowMask) {
+			r.ds.rowMask = append(r.ds.rowMask, 0)
+		}
+		if r.ds.rowMask[row]&(1<<uint(bank)) == 0 {
+			r.ds.rowMask[row] |= 1 << uint(bank)
+			r.spillHint[bank] = row
+			w := row*r.cfg.B + bank
+			r.ds.vals[v].word = int32(w)
+			return w
+		}
+		row++
+	}
+}
+
+// emitSpills flushes victims to memory via store_4 (read + valid_rst
+// frees the register), batching lanes with distinct source banks sharing
+// a memory row.
+func (r *regalloc) emitSpills(victims []ValID) error {
+	remaining := append([]ValID(nil), victims...)
+	for len(remaining) > 0 {
+		var batch []ValID
+		var keep []ValID
+		var mask uint64
+		row := -1
+		for _, v := range remaining {
+			b := uint(r.bankOf(v))
+			w := r.spillWord(v)
+			vr := w / r.cfg.B
+			if len(batch) < arch.MaxMoves && mask&(1<<b) == 0 && (row < 0 || vr == row) {
+				batch = append(batch, v)
+				mask |= 1 << b
+				row = vr
+			} else {
+				keep = append(keep, v)
+			}
+		}
+		remaining = keep
+		in := &arch.Instr{Kind: arch.KindStore4, MemAddr: row}
+		for _, v := range batch {
+			in.Moves = append(in.Moves, arch.Move{
+				SrcBank: uint16(r.bankOf(v)),
+				SrcAddr: uint16(r.loc[v]),
+				Dst:     uint16(int(r.ds.vals[v].word) % r.cfg.B),
+				Rst:     true,
+			})
+			r.spilled[v] = true
+		}
+		r.stats.SpillStores += len(batch)
+		if err := r.emit(in, batch, nil, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureCapacity spills until every bank in need can absorb its incoming
+// writes; pinned values (operands of the op about to issue) stay.
+func (r *regalloc) ensureCapacity(need map[int]int, pinned map[ValID]bool) error {
+	for round := 0; ; round++ {
+		var victims []ValID
+		for bank, n := range need {
+			over := r.occCnt[bank] + r.inflight[bank] + n - r.cfg.R
+			for _, v := range victims {
+				if r.bankOf(v) == bank {
+					over--
+				}
+			}
+			for ; over > 0; over-- {
+				v := r.pickVictim(bank, pinned, victims)
+				if v == InvalidVal {
+					return fmt.Errorf("compiler: register file too small (R=%d, bank %d): working set exceeds capacity", r.cfg.R, bank)
+				}
+				victims = append(victims, v)
+			}
+		}
+		if len(victims) == 0 {
+			return nil
+		}
+		if round > r.cfg.B*r.cfg.R {
+			return fmt.Errorf("compiler: spill livelock on banks %v", need)
+		}
+		if err := r.emitSpills(victims); err != nil {
+			return err
+		}
+	}
+}
+
+// prepareReads reloads spilled operands and stalls until every operand is
+// readable.
+func (r *regalloc) prepareReads(reads []ValID, pinned map[ValID]bool) error {
+	for _, v := range reads {
+		if r.resident[v] || !r.spilled[v] {
+			// Resident, or still in flight: waiting below resolves it.
+			continue
+		}
+		if err := r.reload(v, pinned); err != nil {
+			return err
+		}
+	}
+	for {
+		ok := true
+		for _, v := range reads {
+			if !r.resident[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		if err := r.emitNop(); err != nil {
+			return err
+		}
+		if r.cycle() > 1<<26 {
+			return fmt.Errorf("compiler: livelock waiting for operands")
+		}
+	}
+}
+
+// reload brings a spilled value back into its home bank.
+func (r *regalloc) reload(v ValID, pinned map[ValID]bool) error {
+	bank := r.bankOf(v)
+	word := int(r.ds.vals[v].word)
+	if err := r.ensureCapacity(map[int]int{bank: 1}, pinned); err != nil {
+		return err
+	}
+	for r.writeConflict(1<<uint(bank), r.cycle()+1) {
+		if err := r.emitNop(); err != nil {
+			return err
+		}
+	}
+	in := arch.NewLoad(r.cfg, word/r.cfg.B)
+	in.Mask[bank] = true
+	r.stats.Reloads++
+	r.spilled[v] = false
+	return r.emit(in, nil, []pendingWrite{{v, bank}}, 1)
+}
+
+// run processes the reordered schedule and produces the final instruction
+// list.
+func (r *regalloc) run(sched []*draftOp) ([]*arch.Instr, error) {
+	for _, op := range sched {
+		if op == nil {
+			// Scheduler nop slot: only emit it if a hazard actually
+			// remains; step 4 inserts its own nops on demand, so
+			// scheduler slots are elided to keep the stream dense.
+			continue
+		}
+		if err := r.emitOp(op); err != nil {
+			return nil, err
+		}
+	}
+	return r.out, nil
+}
+
+func (r *regalloc) emitOp(op *draftOp) error {
+	reads := op.reads
+	if op.kind == dStore || op.kind == dStore4 {
+		// Values already spilled sit at their destination word (spill
+		// words and store words coincide); keep only resident or
+		// in-flight ones.
+		reads = reads[:0:0]
+		for _, v := range op.reads {
+			if r.resident[v] || !r.spilled[v] {
+				reads = append(reads, v)
+			}
+		}
+	}
+	pinned := make(map[ValID]bool, len(reads))
+	for _, v := range reads {
+		pinned[v] = true
+	}
+	if err := r.prepareReads(reads, pinned); err != nil {
+		return err
+	}
+	// Capacity for this op's writes.
+	need := map[int]int{}
+	var writes []pendingWrite
+	lat := 1
+	switch op.kind {
+	case dLoad:
+		for _, v := range op.wrs {
+			b := r.bankOf(v)
+			need[b]++
+			writes = append(writes, pendingWrite{v, b})
+		}
+	case dCopy:
+		for i, m := range op.moves {
+			_ = i
+			need[m.dst]++
+			writes = append(writes, pendingWrite{m.w, m.dst})
+		}
+	case dExec:
+		lat = r.cfg.D
+		for _, w := range op.wrs {
+			b := op.outBank[w]
+			need[b]++
+			writes = append(writes, pendingWrite{w, b})
+		}
+	}
+	if len(need) > 0 {
+		if err := r.ensureCapacity(need, pinned); err != nil {
+			return err
+		}
+	}
+	// Write-port conflicts at the landing cycle.
+	var mask uint64
+	for b := range need {
+		mask |= 1 << uint(b)
+	}
+	for mask != 0 && r.writeConflict(mask, r.cycle()+lat) {
+		if err := r.emitNop(); err != nil {
+			return err
+		}
+	}
+	// Build and emit the concrete instruction.
+	switch op.kind {
+	case dLoad:
+		in := arch.NewLoad(r.cfg, op.row)
+		for _, v := range op.wrs {
+			in.Mask[r.bankOf(v)] = true
+		}
+		return r.emit(in, nil, writes, 1)
+	case dCopy:
+		in := &arch.Instr{Kind: arch.KindCopy}
+		var frees []ValID
+		for _, m := range op.moves {
+			rst := r.consume(m.src)
+			if rst {
+				frees = append(frees, m.src)
+			}
+			in.Moves = append(in.Moves, arch.Move{
+				SrcBank: uint16(r.bankOf(m.src)),
+				SrcAddr: uint16(r.loc[m.src]),
+				Dst:     uint16(m.dst),
+				Rst:     rst,
+			})
+		}
+		return r.emit(in, frees, writes, 1)
+	case dExec:
+		in := arch.NewExec(r.cfg)
+		copy(in.PEOps, op.block.PEOps)
+		var frees []ValID
+		for _, rv := range op.reads {
+			b := r.bankOf(rv)
+			in.ReadEn[b] = true
+			in.ReadAddr[b] = uint16(r.loc[rv])
+			if r.consume(rv) {
+				in.ValidRst[b] = true
+				frees = append(frees, rv)
+			}
+		}
+		for port, v := range op.block.PortVal {
+			if v == InvalidVal {
+				continue
+			}
+			rv := op.alias[v]
+			in.InputSel[port] = uint16(r.bankOf(rv))
+		}
+		for home, w := range op.outVal {
+			b := op.outBank[w]
+			sel, err := r.cfg.WriteSel(b, op.outPE[home])
+			if err != nil {
+				return err
+			}
+			in.WriteEn[b] = true
+			in.WriteSel[b] = sel
+		}
+		return r.emit(in, frees, writes, r.cfg.D)
+	case dStore:
+		in := arch.NewStore(r.cfg, op.row)
+		var frees []ValID
+		for _, v := range op.reads {
+			if !r.resident[v] && r.spilled[v] {
+				continue // already in memory at its destination (spilled)
+			}
+			b := r.bankOf(v)
+			in.ReadEn[b] = true
+			in.ReadAddr[b] = uint16(r.loc[v])
+			if r.consume(v) {
+				in.ValidRst[b] = true
+				frees = append(frees, v)
+			}
+		}
+		return r.emit(in, frees, nil, 1)
+	case dStore4:
+		in := &arch.Instr{Kind: arch.KindStore4, MemAddr: op.row}
+		var frees []ValID
+		for _, m := range op.moves {
+			if !r.resident[m.src] && r.spilled[m.src] {
+				continue // spilled to its own destination word already
+			}
+			rst := r.consume(m.src)
+			if rst {
+				frees = append(frees, m.src)
+			}
+			in.Moves = append(in.Moves, arch.Move{
+				SrcBank: uint16(r.bankOf(m.src)),
+				SrcAddr: uint16(r.loc[m.src]),
+				Dst:     uint16(m.dst),
+				Rst:     rst,
+			})
+		}
+		if len(in.Moves) == 0 {
+			return nil // everything already in memory
+		}
+		return r.emit(in, frees, nil, 1)
+	}
+	return fmt.Errorf("compiler: unknown draft op kind %d", op.kind)
+}

@@ -1,0 +1,141 @@
+// Package compiler translates a DAG into a DPU-v2 program following the
+// four compilation steps of §IV: block decomposition, PE and register-bank
+// mapping, pipeline-aware reordering, and register spilling with concrete
+// address assignment. The compiler mirrors the hardware's deterministic
+// behaviour — in particular the automatic lowest-free-slot write-address
+// policy — so every register address is known at compile time and bank
+// conflicts are repaired with explicit copy instructions rather than
+// arbitrated at run time.
+package compiler
+
+import (
+	"dpuv2/internal/arch"
+	"dpuv2/internal/dag"
+)
+
+// ValID identifies a value that lives in the register file or data memory:
+// ids below the graph's node count are that node's output (leaf values and
+// block-io results); higher ids are copy-temporaries created for conflict
+// repair.
+type ValID int32
+
+// InvalidVal is the absent value.
+const InvalidVal ValID = -1
+
+// Subgraph is one schedulable cone (§IV-A): the complete set of unmapped
+// ancestors of Sink, mapped onto the subtree of depth Depth rooted at
+// Root. Cones are disjoint within and across blocks.
+type Subgraph struct {
+	Sink  dag.NodeID
+	Nodes []dag.NodeID
+	Depth int
+	Root  arch.PE
+}
+
+// Block is a monolithic unit executed by a single exec instruction: a set
+// of cones placed onto disjoint subtree slots of the datapath, plus the
+// placement artifacts produced by expansion.
+type Block struct {
+	Subgraphs []Subgraph
+
+	// PEOps configures every PE for this block's exec cycle (idle when
+	// unused, bypass for routing register values upward).
+	PEOps []arch.PEOp
+	// PortVal[i] is the external value fed to datapath input port i, or
+	// InvalidVal. Multiple ports may carry the same value (the input
+	// crossbar broadcasts a single bank read).
+	PortVal []ValID
+	// Inputs is the deduplicated PortVal content.
+	Inputs []ValID
+	// Outputs lists the values this block must write to the register
+	// file: cone nodes with consumers outside the block, and DAG sinks.
+	Outputs []ValID
+	// OutPE maps each output to the PE chosen to drive its write (the
+	// highest-layer replica, which has the widest bank connectivity).
+	OutPE map[ValID]arch.PE
+}
+
+// Options tunes compilation. The zero value is the paper's configuration.
+type Options struct {
+	// Seed drives the randomized tie-breaks of the bank allocator
+	// (objective J spreads values by choosing uniformly among compatible
+	// banks).
+	Seed int64
+	// RandomBanks replaces the conflict-aware allocator of step 2 with
+	// uniform random placement; fig. 10(b) uses this as its baseline.
+	RandomBanks bool
+	// Window is the reorder search window of step 3 (default 300, the
+	// paper's setting).
+	Window int
+	// SeedLookahead and FillLookahead bound the candidate scans of the
+	// greedy block builder (step 1).
+	SeedLookahead, FillLookahead int
+	// PartitionSize, when positive, coarsely partitions the DAG into
+	// chunks of this many interior nodes that are decomposed into blocks
+	// independently, the strategy the paper uses for multi-million-node
+	// PCs (§V-B). Zero disables partitioning.
+	PartitionSize int
+}
+
+func (o Options) normalize() Options {
+	if o.Window <= 0 {
+		o.Window = 300
+	}
+	if o.SeedLookahead <= 0 {
+		o.SeedLookahead = 16
+	}
+	if o.FillLookahead <= 0 {
+		o.FillLookahead = 24
+	}
+	return o
+}
+
+// Stats reports what compilation did; the experiment harness consumes
+// these for fig. 6(e), fig. 10, fig. 13 and Table I.
+type Stats struct {
+	Nodes          int // interior nodes executed
+	Blocks         int
+	Execs          int
+	Copies         int // copy_4 instructions emitted
+	CopiedWords    int // individual repaired words (the bank-conflict count)
+	InputConflicts int // conflicts among block inputs (constraint F)
+	OutputMoves    int // outputs written away from home (constraints G/H)
+	Loads          int
+	Stores         int
+	SpillStores    int // values evicted by register pressure
+	Reloads        int // values loaded back after a spill
+	Nops           int
+	Instructions   int
+	Cycles         int     // instructions + pipeline drain
+	PeakUtil       float64 // busiest exec: arithmetic PEs / total PEs
+	MeanUtil       float64 // average over execs
+	CompileSeconds float64
+}
+
+// Compiled is the result of Compile: the program plus the metadata needed
+// to run and verify it.
+type Compiled struct {
+	Prog *arch.Program
+	// Graph is the binarized DAG the program executes.
+	Graph *dag.Graph
+	// Remap maps the caller's original node ids to Graph's ids (identity
+	// when the input was already binary).
+	Remap []dag.NodeID
+	// InputWord[i] is the data-memory word holding the i-th OpInput (in
+	// Graph input order); the runner writes input values there.
+	InputWord []int
+	// OutputWord maps every sink of Graph to the data-memory word that
+	// holds its value after the program finishes.
+	OutputWord map[dag.NodeID]int
+	Stats      Stats
+}
+
+func peOpFor(op dag.Op) arch.PEOp {
+	switch op {
+	case dag.OpAdd:
+		return arch.PEAdd
+	case dag.OpMul:
+		return arch.PEMul
+	}
+	return arch.PEIdle
+}

@@ -1,0 +1,92 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := RandomGraph(RandomConfig{Inputs: 9, Interior: 120, MaxArgs: 4, MulFrac: 0.4, Seed: 5})
+	g.Node(3).Val = 0 // ensure at least one interesting const path below
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, g.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip changed node count: %d vs %d", back.NumNodes(), g.NumNodes())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		a, b := g.Node(NodeID(i)), back.Node(NodeID(i))
+		if a.Op != b.Op || a.Val != b.Val || len(a.Args) != len(b.Args) {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+		for j := range a.Args {
+			if a.Args[j] != b.Args[j] {
+				t.Fatalf("node %d arg %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadWithCommentsAndBlanks(t *testing.T) {
+	src := `# a tiny dag
+input
+
+const 2.5
+add 0 1
+mul 2 2 0
+`
+	g, err := Read(strings.NewReader(src), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("got %d nodes", g.NumNodes())
+	}
+	vals, err := Eval(g, []float64{1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[3] != 4*4*1.5 {
+		t.Fatalf("eval = %v, want 24", vals[3])
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                     // empty
+		"frobnicate 1 2",       // unknown op
+		"const",                // missing value
+		"const two",            // bad float
+		"add",                  // no args
+		"input\nadd 0 7",       // forward/out-of-range reference
+		"input\nadd zero zero", // non-numeric args
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("Read(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New("dot")
+	a := g.AddInput()
+	c := g.AddConst(2)
+	g.AddOp(OpMul, a, c)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "n0 -> n2", "n1 -> n2", "shape=box"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package dag
+
+import "math/rand"
+
+// RandomConfig controls RandomGraph. The generator is used throughout the
+// test suite as a source of adversarial irregular structure, and by the
+// fig. 1(c) size sweep.
+type RandomConfig struct {
+	Inputs   int     // number of OpInput leaves (≥1)
+	Interior int     // number of arithmetic nodes (≥1)
+	MaxArgs  int     // maximum arity before binarization (≥2)
+	MulFrac  float64 // fraction of interior nodes that multiply
+	// Window bounds how far back (in ids) arguments are drawn from,
+	// which controls depth vs. width: small windows make deep chains,
+	// large windows make shallow wide DAGs. 0 means unbounded.
+	Window int
+	Seed   int64
+}
+
+// RandomGraph generates a pseudo-random DAG. Every non-final interior node
+// is guaranteed at least one consumer by the trailing reduction, so the
+// graph has a single sink unless earlier nodes happen to stay unused
+// (which the generator prevents by wiring them into the final reduce).
+func RandomGraph(cfg RandomConfig) *Graph {
+	if cfg.Inputs < 1 {
+		cfg.Inputs = 1
+	}
+	if cfg.Interior < 1 {
+		cfg.Interior = 1
+	}
+	if cfg.MaxArgs < 2 {
+		cfg.MaxArgs = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New("random")
+	for i := 0; i < cfg.Inputs; i++ {
+		g.AddInput()
+	}
+	for i := 0; i < cfg.Interior; i++ {
+		op := OpAdd
+		if rng.Float64() < cfg.MulFrac {
+			op = OpMul
+		}
+		n := g.NumNodes()
+		lo := 0
+		if cfg.Window > 0 && n > cfg.Window {
+			lo = n - cfg.Window
+		}
+		k := 2
+		if cfg.MaxArgs > 2 {
+			k = 2 + rng.Intn(cfg.MaxArgs-1)
+		}
+		args := make([]NodeID, k)
+		for j := range args {
+			args[j] = NodeID(lo + rng.Intn(n-lo))
+		}
+		g.AddOp(op, args...)
+	}
+	// Wire all remaining sinks except the last into one final sum so the
+	// graph has a deterministic set of observable outputs.
+	outs := g.Outputs()
+	if len(outs) > 1 {
+		g.AddOp(OpAdd, outs...)
+	}
+	return g
+}

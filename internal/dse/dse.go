@@ -1,0 +1,127 @@
+// Package dse runs the design-space exploration of §V: the 48-point grid
+// over tree depth D ∈ {1,2,3}, bank count B ∈ {8,16,32,64} and registers
+// per bank R ∈ {16,32,64,128}, evaluating mean latency, energy and
+// energy-delay product per operation across a workload suite (fig. 11 and
+// fig. 12).
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/energy"
+	"dpuv2/internal/sim"
+)
+
+// Grid returns the paper's 48 sweep configurations with the per-layer
+// output interconnect DPU-v2 selects.
+func Grid() []arch.Config {
+	var cfgs []arch.Config
+	for _, d := range []int{1, 2, 3} {
+		for _, b := range []int{8, 16, 32, 64} {
+			for _, r := range []int{16, 32, 64, 128} {
+				cfgs = append(cfgs, arch.Config{D: d, B: b, R: r, Output: arch.OutPerLayer})
+			}
+		}
+	}
+	return cfgs
+}
+
+// Point is the evaluated outcome of one configuration.
+type Point struct {
+	Cfg arch.Config
+	// Per-operation means over the workload suite.
+	LatencyPerOp float64 // ns
+	EnergyPerOp  float64 // pJ
+	EDP          float64 // pJ·ns
+	AreaMM2      float64
+	// Feasible is false when any workload failed to compile (e.g. the
+	// register file cannot hold a block's working set).
+	Feasible bool
+	Err      error
+}
+
+// Evaluate compiles, simulates and models one workload on one config.
+func Evaluate(g *dag.Graph, cfg arch.Config, opts compiler.Options) (energy.Estimate, error) {
+	c, err := compiler.Compile(g, cfg, opts)
+	if err != nil {
+		return energy.Estimate{}, err
+	}
+	rng := rand.New(rand.NewSource(0x05E))
+	inputs := make([]float64, len(c.Graph.Inputs()))
+	for i := range inputs {
+		inputs[i] = 0.25 + 0.75*rng.Float64()
+	}
+	res, err := sim.Run(c, inputs)
+	if err != nil {
+		return energy.Estimate{}, fmt.Errorf("dse: %s on %v: %w", g.Name, cfg, err)
+	}
+	return energy.EstimateRun(cfg, c.Stats.Nodes, res.Stats, c.Prog), nil
+}
+
+// Sweep evaluates every configuration over every workload and returns one
+// Point per configuration with per-op metrics averaged over workloads,
+// like the paper's fig. 11.
+func Sweep(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options) []Point {
+	points := make([]Point, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		p := Point{Cfg: cfg.Normalize(), Feasible: true}
+		var lat, en float64
+		for _, g := range workloads {
+			est, err := Evaluate(g, cfg, opts)
+			if err != nil {
+				p.Feasible = false
+				p.Err = err
+				break
+			}
+			lat += est.LatencyPerOp
+			en += est.EnergyPerOp
+			p.AreaMM2 = est.AreaMM2
+		}
+		if p.Feasible && len(workloads) > 0 {
+			p.LatencyPerOp = lat / float64(len(workloads))
+			p.EnergyPerOp = en / float64(len(workloads))
+			p.EDP = p.LatencyPerOp * p.EnergyPerOp
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// Metric selects the optimization target of Best.
+type Metric int
+
+const (
+	MinLatency Metric = iota
+	MinEnergy
+	MinEDP
+)
+
+// Best returns the feasible point minimizing the metric.
+func Best(points []Point, m Metric) (Point, bool) {
+	best := Point{}
+	bestV := math.Inf(1)
+	found := false
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		var v float64
+		switch m {
+		case MinLatency:
+			v = p.LatencyPerOp
+		case MinEnergy:
+			v = p.EnergyPerOp
+		default:
+			v = p.EDP
+		}
+		if v < bestV {
+			bestV, best, found = v, p, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,98 @@
+package dse
+
+import (
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sptrsv"
+)
+
+func smallSuite() []*dag.Graph {
+	g1 := pc.Build(pc.Suite()[0], 0.05)
+	g2, _ := sptrsv.Build(sptrsv.Suite()[0], 0.05)
+	return []*dag.Graph{g1, g2}
+}
+
+func TestGridHas48Points(t *testing.T) {
+	cfgs := Grid()
+	if len(cfgs) != 48 {
+		t.Fatalf("grid has %d points, want 48", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestEvaluateProducesSaneMetrics(t *testing.T) {
+	g := pc.Build(pc.Suite()[0], 0.05)
+	est, err := Evaluate(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.LatencyPerOp <= 0 || est.EnergyPerOp <= 0 || est.EDP <= 0 {
+		t.Fatalf("non-positive metrics: %+v", est)
+	}
+	if est.LatencyPerOp > 100 {
+		t.Fatalf("latency/op %.1f ns implausible (paper range 0.2–3.5)", est.LatencyPerOp)
+	}
+}
+
+func TestSweepAndBest(t *testing.T) {
+	suite := smallSuite()
+	cfgs := []arch.Config{
+		{D: 1, B: 8, R: 32, Output: arch.OutPerLayer},
+		{D: 2, B: 16, R: 32, Output: arch.OutPerLayer},
+		{D: 3, B: 64, R: 32, Output: arch.OutPerLayer},
+	}
+	points := Sweep(suite, cfgs, compiler.Options{})
+	if len(points) != len(cfgs) {
+		t.Fatalf("got %d points", len(points))
+	}
+	feasible := 0
+	for _, p := range points {
+		if p.Feasible {
+			feasible++
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible points")
+	}
+	bestLat, ok := Best(points, MinLatency)
+	if !ok {
+		t.Fatal("no best point")
+	}
+	bestEDP, _ := Best(points, MinEDP)
+	bestE, _ := Best(points, MinEnergy)
+	// The deepest/widest datapath should win latency on parallel DAGs.
+	if bestLat.Cfg.D != 3 {
+		t.Errorf("min-latency config %v, expected the D=3 point", bestLat.Cfg)
+	}
+	for _, p := range points {
+		if p.Feasible && p.EDP < bestEDP.EDP {
+			t.Errorf("Best(MinEDP) missed %v", p.Cfg)
+		}
+		if p.Feasible && p.EnergyPerOp < bestE.EnergyPerOp {
+			t.Errorf("Best(MinEnergy) missed %v", p.Cfg)
+		}
+	}
+}
+
+func TestInfeasiblePointReported(t *testing.T) {
+	// A graph with a huge working set cannot compile at tiny R.
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 400, Interior: 3000, MaxArgs: 2, MulFrac: 0.5, Seed: 2})
+	points := Sweep([]*dag.Graph{g}, []arch.Config{{D: 3, B: 8, R: 2, Output: arch.OutPerLayer}}, compiler.Options{})
+	if len(points) != 1 {
+		t.Fatal("want one point")
+	}
+	if points[0].Feasible {
+		t.Skip("tiny-R point unexpectedly feasible for this graph")
+	}
+	if points[0].Err == nil {
+		t.Fatal("infeasible point must carry its error")
+	}
+}

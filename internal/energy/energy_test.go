@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/sim"
+)
+
+func TestModelMatchesTableII(t *testing.T) {
+	// At the anchor point the model must reproduce Table II exactly.
+	b := Model(arch.MinEDP())
+	if math.Abs(b.TotalArea()-3.2) > 0.05 {
+		t.Errorf("total area %.2f mm², Table II says 3.2", b.TotalArea())
+	}
+	if math.Abs(b.TotalPower()-108.9) > 0.5 {
+		t.Errorf("total power %.1f mW, Table II says 108.9", b.TotalPower())
+	}
+	if b.AreaMM2[InstrMem] != 1.20 || b.PowerMW[RFBanks] != 24.0 {
+		t.Errorf("component anchors off: %+v", b)
+	}
+}
+
+func TestScalingDirections(t *testing.T) {
+	small := Model(arch.Config{D: 3, B: 16, R: 32, Output: arch.OutPerLayer})
+	big := Model(arch.MinEDP()) // B=64
+	if small.PowerMW[PEs] >= big.PowerMW[PEs] {
+		t.Error("PE power should grow with B (more trees)")
+	}
+	if small.AreaMM2[InputXbar] >= big.AreaMM2[InputXbar] {
+		t.Error("crossbar area should grow superlinearly with B")
+	}
+	moreR := Model(arch.Config{D: 3, B: 64, R: 128, Output: arch.OutPerLayer})
+	if moreR.PowerMW[RFBanks] <= big.PowerMW[RFBanks] {
+		t.Error("bank power should grow with R")
+	}
+	deeper := Model(arch.Config{D: 2, B: 64, R: 32, Output: arch.OutPerLayer})
+	if deeper.AreaMM2[PEs] <= 0 {
+		t.Error("degenerate PE area")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	if PEs.Name() != "PEs" || DataMem.Name() != "Data memory" {
+		t.Error("component names broken")
+	}
+	if Components() != int(numComponents) {
+		t.Error("Components() mismatch")
+	}
+}
+
+func fakeStats(cycles, peOps, regRW, mem int) sim.Stats {
+	return sim.Stats{
+		Cycles:    cycles,
+		PEOpsDone: peOps,
+		RegReads:  regRW / 2,
+		RegWrites: regRW - regRW/2,
+		MemReads:  mem / 2,
+		MemWrites: mem - mem/2,
+	}
+}
+
+func TestEstimateRunUnits(t *testing.T) {
+	cfg := arch.MinEDP()
+	st := fakeStats(3000, 30000, 40000, 2000)
+	e := EstimateRun(cfg, 10000, st, nil)
+	// 3000 cycles at 300 MHz = 10 µs for 10k ops → 1 ns/op → 1 GOPS.
+	if math.Abs(e.LatencyPerOp-1.0) > 1e-9 {
+		t.Errorf("latency/op = %v ns, want 1.0", e.LatencyPerOp)
+	}
+	if math.Abs(e.ThroughputGOP-1.0) > 1e-9 {
+		t.Errorf("throughput = %v GOPS, want 1.0", e.ThroughputGOP)
+	}
+	if e.EnergyPerOp <= 0 || e.EDP != e.EnergyPerOp*e.LatencyPerOp {
+		t.Errorf("energy accounting inconsistent: %+v", e)
+	}
+	// Power must sit in the physical ballpark of the design (tens of mW).
+	if e.PowerMW < 20 || e.PowerMW > 300 {
+		t.Errorf("power %v mW implausible", e.PowerMW)
+	}
+}
+
+func TestActivityScalesEnergy(t *testing.T) {
+	cfg := arch.MinEDP()
+	busy := EstimateRun(cfg, 10000, fakeStats(1000, 50000, 60000, 5000), nil)
+	idle := EstimateRun(cfg, 10000, fakeStats(1000, 1000, 2000, 100), nil)
+	if busy.PowerMW <= idle.PowerMW {
+		t.Errorf("activity should raise power: busy=%v idle=%v", busy.PowerMW, idle.PowerMW)
+	}
+	if idle.PowerMW < leakFrac*Model(cfg).TotalPower()*0.9 {
+		t.Errorf("idle power below leakage floor: %v", idle.PowerMW)
+	}
+}
+
+func TestZeroOpsSafe(t *testing.T) {
+	e := EstimateRun(arch.MinEDP(), 0, sim.Stats{Cycles: 10}, nil)
+	if e.LatencyPerOp != 0 || e.EnergyPerOp != 0 {
+		t.Errorf("zero-op estimate should zero the per-op metrics: %+v", e)
+	}
+}

@@ -1,0 +1,154 @@
+// Package pc generates probabilistic-circuit (sum-product network)
+// workloads. The paper benchmarks PCs from the UCLA StarAI model zoo
+// (tretail … bnetflix, and the large pigs … mildew circuits); those files
+// are not redistributable here, so this package synthesizes circuits with
+// matching structural statistics — node count, longest path, and n/l
+// average parallelism from Table I — which is what the DPU-v2 compiler and
+// architecture actually respond to (see DESIGN.md, substitutions).
+//
+// A generated circuit is an alternating stack of product and weighted-sum
+// layers over pairs of indicator-variable leaves, with irregular skip
+// connections so that the edge structure is as unstructured as the learned
+// circuits in the paper.
+package pc
+
+import (
+	"math/rand"
+
+	"dpuv2/internal/dag"
+)
+
+// Config parameterizes Generate.
+type Config struct {
+	Name string
+	// Vars is the number of Boolean variables; each contributes two
+	// indicator-leaf inputs.
+	Vars int
+	// TargetNodes is the approximate total node count of the circuit.
+	TargetNodes int
+	// TargetDepth is the approximate longest path (in nodes).
+	TargetDepth int
+	// SumFanin is the fan-in of sum nodes before binarization (≥2).
+	SumFanin int
+	// Weighted adds a constant-weight multiplication under every sum
+	// argument, like an arithmetic circuit with edge weights.
+	Weighted bool
+	// SkipProb is the probability that an argument is drawn from any
+	// earlier layer rather than the immediately preceding one, producing
+	// the long irregular edges characteristic of learned PCs.
+	SkipProb float64
+	Seed     int64
+}
+
+// Generate synthesizes a circuit per cfg. The result is a valid DAG whose
+// every interior node is OpAdd or OpMul and whose single sink is the
+// circuit root.
+func Generate(cfg Config) *dag.Graph {
+	if cfg.Vars < 1 {
+		cfg.Vars = 8
+	}
+	if cfg.SumFanin < 2 {
+		cfg.SumFanin = 2
+	}
+	if cfg.TargetNodes < 16 {
+		cfg.TargetNodes = 16
+	}
+	if cfg.TargetDepth < 4 {
+		cfg.TargetDepth = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := dag.New(cfg.Name)
+
+	// Indicator leaves: λ_{v=0}, λ_{v=1} for each variable.
+	prev := make([]dag.NodeID, 0, 2*cfg.Vars)
+	for i := 0; i < 2*cfg.Vars; i++ {
+		prev = append(prev, g.AddInput())
+	}
+	all := append([]dag.NodeID(nil), prev...)
+
+	// Layer count: each product layer adds 1 to depth, each weighted sum
+	// layer adds 2 (weight-mul + add); plan the width schedule so the
+	// total lands near TargetNodes and depth near TargetDepth.
+	depthPerPair := 2
+	if cfg.Weighted {
+		depthPerPair = 3
+	}
+	pairs := cfg.TargetDepth / depthPerPair
+	if pairs < 1 {
+		pairs = 1
+	}
+	layers := 2 * pairs
+	// Estimate per-node cost: product nodes cost 1, sum nodes cost
+	// 1 + SumFanin (weight muls) when weighted.
+	sumCost := 1.0
+	if cfg.Weighted {
+		sumCost = 1 + float64(cfg.SumFanin)
+	}
+	avgCost := (1 + sumCost) / 2
+	budget := float64(cfg.TargetNodes) - float64(len(prev))
+	width := int(budget / (avgCost * float64(layers)))
+	if width < 2 {
+		width = 2
+	}
+
+	pick := func(rng *rand.Rand) dag.NodeID {
+		if rng.Float64() < cfg.SkipProb && len(all) > len(prev) {
+			// Skip connections reach earlier layers but stay local, like
+			// the learned circuits' region structure: draw from a recent
+			// window rather than uniformly over the whole circuit.
+			win := 6 * len(prev)
+			if win > len(all) {
+				win = len(all)
+			}
+			return all[len(all)-1-rng.Intn(win)]
+		}
+		return prev[rng.Intn(len(prev))]
+	}
+
+	for l := 0; l < layers && g.NumNodes() < cfg.TargetNodes; l++ {
+		w := width
+		// Taper the final layers down toward the root.
+		if rem := layers - l; rem <= 4 && w > rem*2 {
+			w = rem * 2
+		}
+		cur := make([]dag.NodeID, 0, w)
+		if l%2 == 0 {
+			// Product layer: pairwise products.
+			for i := 0; i < w; i++ {
+				cur = append(cur, g.AddOp(dag.OpMul, pick(rng), pick(rng)))
+			}
+		} else {
+			// Sum layer: weighted mixtures.
+			for i := 0; i < w; i++ {
+				args := make([]dag.NodeID, 0, cfg.SumFanin)
+				for k := 0; k < cfg.SumFanin; k++ {
+					a := pick(rng)
+					if cfg.Weighted {
+						wt := g.AddConst(0.1 + 0.9*rng.Float64())
+						a = g.AddOp(dag.OpMul, wt, a)
+					}
+					args = append(args, a)
+				}
+				cur = append(cur, g.AddOp(dag.OpAdd, args...))
+			}
+		}
+		all = append(all, cur...)
+		prev = cur
+	}
+
+	// Root: sum every remaining sink so the circuit has one output.
+	if outs := g.Outputs(); len(outs) > 1 {
+		g.AddOp(dag.OpAdd, outs...)
+	}
+	return g
+}
+
+// UniformInputs returns an input vector that sets every indicator to p,
+// handy for smoke-testing inference (p=1 marginalizes all variables).
+func UniformInputs(g *dag.Graph, p float64) []float64 {
+	in := make([]float64, len(g.Inputs()))
+	for i := range in {
+		in[i] = p
+	}
+	return in
+}

@@ -1,0 +1,87 @@
+package pc
+
+import (
+	"math"
+	"testing"
+
+	"dpuv2/internal/dag"
+)
+
+func TestGenerateValid(t *testing.T) {
+	g := Generate(Config{Name: "x", Vars: 16, TargetNodes: 2000, TargetDepth: 30, SumFanin: 3, Weighted: true, SkipProb: 0.2, Seed: 1})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(g.Outputs()); n != 1 {
+		t.Fatalf("outputs = %d, want 1 (rooted circuit)", n)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		op := g.Op(dag.NodeID(i))
+		if op != dag.OpInput && op != dag.OpConst && op != dag.OpAdd && op != dag.OpMul {
+			t.Fatalf("node %d has non-PC op %v", i, op)
+		}
+	}
+}
+
+func TestGenerateHitsTargets(t *testing.T) {
+	for _, spec := range Suite() {
+		g := Build(spec, 1.0)
+		st := dag.ComputeStats(g)
+		lo, hi := int(0.5*float64(spec.TargetNodes)), int(1.8*float64(spec.TargetNodes))
+		if st.Nodes < lo || st.Nodes > hi {
+			t.Errorf("%s: nodes = %d, want within [%d,%d]", spec.Name, st.Nodes, lo, hi)
+		}
+		if st.LongestPath < spec.TargetDepth/2 || st.LongestPath > spec.TargetDepth*3 {
+			t.Errorf("%s: depth = %d, target %d", spec.Name, st.LongestPath, spec.TargetDepth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Build(Suite()[0], 0.2)
+	b := Build(Suite()[0], 0.2)
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("not deterministic: %d vs %d nodes", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(dag.NodeID(i)), b.Node(dag.NodeID(i))
+		if na.Op != nb.Op || len(na.Args) != len(nb.Args) || na.Val != nb.Val {
+			t.Fatalf("node %d differs between runs", i)
+		}
+	}
+}
+
+func TestInferenceIsPositive(t *testing.T) {
+	// With nonnegative indicator inputs and positive weights, a
+	// sum-product circuit must produce a nonnegative root value.
+	g := Generate(Config{Vars: 8, TargetNodes: 500, TargetDepth: 12, SumFanin: 3, Weighted: true, SkipProb: 0.1, Seed: 9})
+	vals, err := dag.Eval(g, UniformInputs(g, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := vals[len(vals)-1]
+	if root < 0 || math.IsNaN(root) || math.IsInf(root, 0) {
+		t.Fatalf("root = %v, want finite nonnegative", root)
+	}
+}
+
+func TestScaleShrinks(t *testing.T) {
+	full := Build(Suite()[2], 1.0)
+	small := Build(Suite()[2], 0.1)
+	if small.NumNodes() >= full.NumNodes() {
+		t.Fatalf("scale 0.1 not smaller: %d vs %d", small.NumNodes(), full.NumNodes())
+	}
+}
+
+func TestLargeSuiteSpecs(t *testing.T) {
+	specs := LargeSuite()
+	if len(specs) != 4 {
+		t.Fatalf("LargeSuite has %d entries, want 4", len(specs))
+	}
+	// Only generate a small scale to keep the test fast; full scale is
+	// exercised by the fig. 14(b) bench.
+	g := Build(specs[0], 0.02)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

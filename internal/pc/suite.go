@@ -1,0 +1,66 @@
+package pc
+
+import "dpuv2/internal/dag"
+
+// WorkloadSpec names a benchmark circuit and its Table I statistics that
+// the synthetic generator targets.
+type WorkloadSpec struct {
+	Name        string
+	TargetNodes int
+	TargetDepth int
+}
+
+// Suite lists the six PC workloads of Table I(a).
+func Suite() []WorkloadSpec {
+	return []WorkloadSpec{
+		{"tretail", 9_000, 49},
+		{"mnist", 10_000, 26},
+		{"nltcs", 14_000, 27},
+		{"msnbc", 48_000, 28},
+		{"msweb", 51_000, 73},
+		{"bnetflix", 55_000, 53},
+	}
+}
+
+// LargeSuite lists the four large PCs of Table I(c). Callers typically
+// scale these down with the scale parameter of Build to keep test runtimes
+// reasonable; the experiment harness documents the scale it uses.
+func LargeSuite() []WorkloadSpec {
+	return []WorkloadSpec{
+		{"pigs", 600_000, 90},
+		{"andes", 700_000, 84},
+		{"munin", 3_100_000, 337},
+		{"mildew", 3_300_000, 176},
+	}
+}
+
+// Build generates the named spec at the given scale (1.0 = full Table I
+// size). Each workload uses a distinct deterministic seed derived from its
+// name so results are reproducible run to run.
+func Build(spec WorkloadSpec, scale float64) *dag.Graph {
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := int64(0)
+	for _, c := range spec.Name {
+		seed = seed*131 + int64(c)
+	}
+	n := int(float64(spec.TargetNodes) * scale)
+	if n < 64 {
+		n = 64
+	}
+	vars := n / 200
+	if vars < 8 {
+		vars = 8
+	}
+	return Generate(Config{
+		Name:        spec.Name,
+		Vars:        vars,
+		TargetNodes: n,
+		TargetDepth: spec.TargetDepth,
+		SumFanin:    3,
+		Weighted:    true,
+		SkipProb:    0.15,
+		Seed:        seed,
+	})
+}

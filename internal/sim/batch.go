@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"dpuv2/internal/compiler"
+)
+
+// RunBatch executes the same compiled program over a batch of input
+// vectors on `cores` independent DPU-v2 cores in parallel, the execution
+// mode of the DPU-v2 (L) large-PC comparison (§V-C2: "the parallel cores
+// can either perform batch execution or execute different DAGs"). Each
+// core is a full Machine; results are returned in input order. Aggregate
+// throughput scales with the core count because the cores share nothing
+// but the (read-only) program.
+func RunBatch(c *compiler.Compiled, batches [][]float64, cores int) ([]*Result, error) {
+	if cores < 1 {
+		cores = 1
+	}
+	results := make([]*Result, len(batches))
+	errs := make([]error, len(batches))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cores)
+	for i, inputs := range batches {
+		wg.Add(1)
+		go func(i int, inputs []float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(c, inputs)
+		}(i, inputs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

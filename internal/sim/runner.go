@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// Result is one end-to-end execution of a compiled DAG.
+type Result struct {
+	// Outputs maps each sink of the compiled (binarized) graph to the
+	// value found in data memory after the run.
+	Outputs map[dag.NodeID]float64
+	Stats   Stats
+}
+
+// Run executes a compiled program with the given DAG input values (in
+// graph-input order) and returns the sink values read back from data
+// memory.
+func Run(c *compiler.Compiled, inputs []float64) (*Result, error) {
+	ins := c.Graph.Inputs()
+	if len(inputs) != len(ins) {
+		return nil, fmt.Errorf("sim: %d inputs provided, graph has %d", len(inputs), len(ins))
+	}
+	m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+	for i, w := range c.InputWord {
+		if w < 0 {
+			continue // input consumed by nothing
+		}
+		if err := m.SetMem(w, inputs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Run(c.Prog); err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: make(map[dag.NodeID]float64, len(c.OutputWord)), Stats: m.Stats()}
+	for sink, w := range c.OutputWord {
+		v, err := m.Mem(w)
+		if err != nil {
+			return nil, err
+		}
+		res.Outputs[sink] = v
+	}
+	return res, nil
+}
+
+// Verify runs the compiled program and compares every sink against the
+// reference evaluator. The simulator performs the same float64 operations
+// in the same association order as the binarized graph, so results must
+// match bit-exactly; tol exists only for callers that post-process.
+func Verify(c *compiler.Compiled, inputs []float64, tol float64) (*Result, error) {
+	res, err := Run(c, inputs)
+	if err != nil {
+		return nil, err
+	}
+	want, err := dag.Eval(c.Graph, inputs)
+	if err != nil {
+		return nil, err
+	}
+	for sink, got := range res.Outputs {
+		w := want[sink]
+		if got != w && math.Abs(got-w) > tol*(1+math.Abs(w)) {
+			return res, fmt.Errorf("sim: sink %d = %v, reference %v", sink, got, w)
+		}
+	}
+	return res, nil
+}

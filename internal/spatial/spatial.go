@@ -1,0 +1,131 @@
+// Package spatial reproduces the datapath-shape study of §II-B
+// (fig. 3(c)): what fraction of a candidate spatial datapath can the best
+// subgraph of an irregular DAG keep busy? The paper used a
+// constrained-optimization mapper [34]; this package uses greedy mappers
+// that find large (not provably maximal) mappable subgraphs, which is
+// sufficient to reproduce the qualitative result — tree utilization stays
+// high while systolic-array utilization collapses with size.
+package spatial
+
+import (
+	"math/rand"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// TreePeakUtil returns the peak utilization (busy arithmetic PEs / total
+// PEs) of a single PE tree with the given number of inputs (a power of
+// two ≥ 2), using the block decomposer to find the best-filled exec.
+func TreePeakUtil(g *dag.Graph, inputs int) (float64, error) {
+	d := 0
+	for 1<<uint(d+1) <= inputs {
+		d++
+	}
+	cfg := arch.Config{D: d, B: 1 << uint(d), R: 128, Output: arch.OutCrossbar}
+	c, err := compiler.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return c.Stats.PeakUtil, nil
+}
+
+// SystolicPeakUtil estimates the peak utilization of an n-input systolic
+// array (k×k with k = n/2, as in fig. 3(a)) by greedily growing grid
+// mappings from many random seeds. A node may sit at position (i,j) only
+// if its arguments are exactly the outputs of positions (i−1,j) and
+// (i,j−1) (or array-edge external inputs), the systolic dataflow
+// constraint.
+func SystolicPeakUtil(g *dag.Graph, inputs int, trials int, seed int64) float64 {
+	k := inputs / 2
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bestNodes := 0
+	interior := make([]dag.NodeID, 0, g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		if !g.Op(dag.NodeID(i)).IsLeaf() {
+			interior = append(interior, dag.NodeID(i))
+		}
+	}
+	if len(interior) == 0 {
+		return 0
+	}
+	for t := 0; t < trials; t++ {
+		seedNode := interior[rng.Intn(len(interior))]
+		placed := growGrid(g, seedNode, k)
+		if placed > bestNodes {
+			bestNodes = placed
+		}
+	}
+	return float64(bestNodes) / float64(k*k)
+}
+
+// growGrid places seed at (0,0) and fills the k×k grid in wavefront order.
+func growGrid(g *dag.Graph, seed dag.NodeID, k int) int {
+	grid := make([]dag.NodeID, k*k)
+	for i := range grid {
+		grid[i] = dag.InvalidNode
+	}
+	used := map[dag.NodeID]bool{seed: true}
+	grid[0] = seed
+	placed := 1
+	at := func(i, j int) dag.NodeID {
+		if i < 0 || j < 0 || i >= k || j >= k {
+			return dag.InvalidNode
+		}
+		return grid[i*k+j]
+	}
+	// consumes reports whether node n takes u's output as an argument.
+	consumes := func(n, u dag.NodeID) bool {
+		for _, a := range g.Args(n) {
+			if a == u {
+				return true
+			}
+		}
+		return false
+	}
+	for wf := 1; wf < 2*k-1; wf++ {
+		for i := 0; i <= wf && i < k; i++ {
+			j := wf - i
+			if j < 0 || j >= k {
+				continue
+			}
+			up, left := at(i-1, j), at(i, j-1)
+			// Systolic dataflow: external operands enter only at the
+			// array edges, so an interior position needs both neighbours
+			// placed and consumed; edge positions need their one
+			// interior neighbour.
+			if i > 0 && up == dag.InvalidNode {
+				continue
+			}
+			if j > 0 && left == dag.InvalidNode {
+				continue
+			}
+			var cand []dag.NodeID
+			if up != dag.InvalidNode {
+				cand = g.Succs(up)
+			} else {
+				cand = g.Succs(left)
+			}
+			for _, n := range cand {
+				if used[n] || g.Op(n).IsLeaf() {
+					continue
+				}
+				if up != dag.InvalidNode && !consumes(n, up) {
+					continue
+				}
+				if left != dag.InvalidNode && !consumes(n, left) {
+					continue
+				}
+				grid[i*k+j] = n
+				used[n] = true
+				placed++
+				break
+			}
+		}
+	}
+	return placed
+}

@@ -1,0 +1,60 @@
+package spatial
+
+import (
+	"testing"
+
+	"dpuv2/internal/dag"
+	"dpuv2/internal/pc"
+)
+
+func irregular() *dag.Graph {
+	g := pc.Build(pc.Suite()[0], 0.1)
+	bg, _ := dag.Binarize(g)
+	return bg
+}
+
+func TestTreeUtilizationStaysHigh(t *testing.T) {
+	g := irregular()
+	for _, n := range []int{2, 4, 8} {
+		u, err := TreePeakUtil(g, n)
+		if err != nil {
+			t.Fatalf("inputs=%d: %v", n, err)
+		}
+		if u < 0.6 {
+			t.Errorf("tree peak utilization %.2f at %d inputs, fig. 3(c) expects near-full", u, n)
+		}
+		if u > 1.0 {
+			t.Errorf("utilization %v > 1", u)
+		}
+	}
+}
+
+func TestSystolicUtilizationCollapses(t *testing.T) {
+	g := irregular()
+	u4 := SystolicPeakUtil(g, 4, 200, 1)
+	u16 := SystolicPeakUtil(g, 16, 200, 1)
+	if u4 <= 0 {
+		t.Fatal("systolic mapper found nothing at 4 inputs")
+	}
+	if u16 >= u4 {
+		t.Errorf("systolic utilization should fall with size: u4=%.2f u16=%.2f", u4, u16)
+	}
+	if u16 > 0.5 {
+		t.Errorf("16-input systolic utilization %.2f, fig. 3(c) expects collapse", u16)
+	}
+}
+
+func TestSystolicHandlesTinyGraphs(t *testing.T) {
+	g := dag.New("tiny")
+	a := g.AddInput()
+	b := g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	if u := SystolicPeakUtil(g, 8, 10, 1); u < 0 || u > 1 {
+		t.Fatalf("utilization %v out of range", u)
+	}
+	leafOnly := dag.New("leaves")
+	leafOnly.AddInput()
+	if u := SystolicPeakUtil(leafOnly, 4, 10, 1); u != 0 {
+		t.Fatalf("leaf-only graph should map nothing, got %v", u)
+	}
+}

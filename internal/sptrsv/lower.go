@@ -1,0 +1,58 @@
+package sptrsv
+
+import "dpuv2/internal/dag"
+
+// Lower translates the forward substitution L·x = b into a DAG whose only
+// arithmetic ops are + and ×, matching the DPU-v2 PE capabilities:
+//
+//	x_i = (b_i + Σ_{j<i} (−L_ij)·x_j) · (1/L_ii)
+//
+// The negations and reciprocal are folded into constant leaves at lowering
+// time (the sparsity pattern and values are static across executions in
+// the paper's use cases, so this is a compile-time transform). The right-
+// hand side b enters as the DAG's OpInput leaves in row order, and the
+// solution x_i is the value of the returned xs[i] node.
+func Lower(m *CSR) (g *dag.Graph, xs []dag.NodeID) {
+	g = dag.New("sptrsv")
+	b := make([]dag.NodeID, m.N)
+	for i := range b {
+		b[i] = g.AddInput()
+	}
+	xs = make([]dag.NodeID, m.N)
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+		args := make([]dag.NodeID, 0, hi-lo)
+		args = append(args, b[i])
+		for k := lo; k < hi-1; k++ {
+			c := g.AddConst(-m.Val[k])
+			args = append(args, g.AddOp(dag.OpMul, c, xs[m.Col[k]]))
+		}
+		acc := args[0]
+		if len(args) > 1 {
+			acc = g.AddOp(dag.OpAdd, args...)
+		}
+		inv := g.AddConst(1 / m.Val[hi-1])
+		xs[i] = g.AddOp(dag.OpMul, acc, inv)
+	}
+	return g, xs
+}
+
+// LowerAll is Lower with every solution component observable: x_i that
+// are consumed by later rows (and therefore are not DAG sinks) get an
+// extra ×1 tap node whose output is a sink, so the compiler stores the
+// full solution vector to data memory. The returned xs point at the
+// observable nodes.
+func LowerAll(m *CSR) (g *dag.Graph, xs []dag.NodeID) {
+	g, xs = Lower(m)
+	var one dag.NodeID = dag.InvalidNode
+	for i, x := range xs {
+		if g.Fanout(x) == 0 {
+			continue
+		}
+		if one == dag.InvalidNode {
+			one = g.AddConst(1)
+		}
+		xs[i] = g.AddOp(dag.OpMul, x, one)
+	}
+	return g, xs
+}

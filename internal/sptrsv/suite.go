@@ -1,0 +1,61 @@
+package sptrsv
+
+import "dpuv2/internal/dag"
+
+// WorkloadSpec names a benchmark matrix and the Table I(b) DAG statistics
+// its synthetic stand-in targets.
+type WorkloadSpec struct {
+	Name        string
+	TargetNodes int // DAG nodes after lowering
+	TargetDepth int // DAG longest path
+}
+
+// Suite lists the six SpTRSV workloads of Table I(b).
+func Suite() []WorkloadSpec {
+	return []WorkloadSpec{
+		{"bp_200", 8_000, 139},
+		{"west2021", 10_000, 136},
+		{"sieber", 23_000, 242},
+		{"jagmesh4", 44_000, 215},
+		{"rdb968", 51_000, 278},
+		{"dw2048", 79_000, 929},
+	}
+}
+
+// Build generates the matrix for spec at the given scale, lowers it, and
+// returns the DAG together with the matrix (for reference solves). The
+// Leveled generator gives direct control over the dependency depth; the
+// DAG's longest path is ≈3 nodes per level (mul, add, scale-mul), so the
+// level count is derived from TargetDepth/3 and the row count from the
+// ≈4.4 DAG-nodes-per-row cost of two off-diagonal dependencies.
+func Build(spec WorkloadSpec, scale float64) (*dag.Graph, *CSR) {
+	if scale <= 0 {
+		scale = 1
+	}
+	seed := int64(0)
+	for _, c := range spec.Name {
+		seed = seed*137 + int64(c)
+	}
+	target := int(float64(spec.TargetNodes) * scale)
+	if target < 64 {
+		target = 64
+	}
+	const deps = 2
+	// Per row: 1 input + deps consts + deps muls + 1 add + 1 inv const +
+	// 1 scale mul ≈ 2*deps + 4 nodes.
+	n := target / (2*deps + 4)
+	if n < 8 {
+		n = 8
+	}
+	levels := spec.TargetDepth / 3
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > n {
+		levels = n
+	}
+	m := Leveled(n, levels, deps, seed)
+	g, _ := Lower(m)
+	g.Name = spec.Name
+	return g, m
+}
