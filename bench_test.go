@@ -9,22 +9,34 @@ package dpuv2
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/baseline"
 	"dpuv2/internal/bench"
 	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/dse"
 	"dpuv2/internal/pc"
 	"dpuv2/internal/sim"
+	"dpuv2/internal/sptrsv"
 )
 
 func benchConfig() bench.Config {
 	return bench.Config{Scale: 0.1, LargeScale: 0.01}
 }
 
+// slowExperiments are the sweep-backed figures that take >1 s per
+// iteration at the reduced benchmark scale; `go test -short -bench` (as
+// CI runs it) skips them.
+var slowExperiments = map[string]bool{"fig11": true, "fig12": true}
+
 func runExperiment(b *testing.B, name string) {
 	b.Helper()
+	if testing.Short() && slowExperiments[name] {
+		b.Skipf("%s takes >1s per iteration; skipped in -short mode", name)
+	}
 	for i := 0; i < b.N; i++ {
 		r := bench.NewRunner(benchConfig())
 		out, err := r.Run(name)
@@ -68,7 +80,9 @@ func BenchmarkCompile(b *testing.B) {
 }
 
 // BenchmarkSimulate measures simulator speed in simulated cycles per
-// second of host time.
+// second of host time, and allocations per run (the exec hot path is
+// allocation-free; what remains is Machine construction and result
+// readback).
 func BenchmarkSimulate(b *testing.B) {
 	g := pc.Build(pc.Suite()[1], 0.5)
 	c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
@@ -79,6 +93,7 @@ func BenchmarkSimulate(b *testing.B) {
 	for i := range inputs {
 		inputs[i] = 0.5
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(c, inputs); err != nil {
@@ -86,6 +101,69 @@ func BenchmarkSimulate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(c.Stats.Cycles), "cycles/run")
+}
+
+// BenchmarkMachineRun isolates Machine.Run allocations from the runner's
+// result marshalling: machine construction plus the full instruction
+// trace, nothing else.
+func BenchmarkMachineRun(b *testing.B) {
+	g := pc.Build(pc.Suite()[1], 0.5)
+	c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sim.NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+		for j, w := range c.InputWord {
+			if w >= 0 {
+				if err := m.SetMem(w, float64(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := m.Run(c.Prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Stats.Cycles), "cycles/run")
+}
+
+// sweepBenchInputs builds the workload suite and grid shared by the
+// serial/parallel sweep benchmarks: a reduced suite (two PCs, one
+// SpTRSV) over the full 48-point grid.
+func sweepBenchInputs() ([]*dag.Graph, []arch.Config) {
+	g1 := pc.Build(pc.Suite()[0], 0.05)
+	g2 := pc.Build(pc.Suite()[2], 0.05)
+	g3, _ := sptrsv.Build(sptrsv.Suite()[1], 0.05)
+	return []*dag.Graph{g1, g2, g3}, dse.Grid()
+}
+
+// BenchmarkSweepSerial is the §V design-space exploration on one worker —
+// the seed's behavior.
+func BenchmarkSweepSerial(b *testing.B) {
+	workloads, cfgs := sweepBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := dse.SweepParallel(workloads, cfgs, compiler.Options{}, 1)
+		if len(points) != len(cfgs) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkSweepParallel is the same sweep on one worker per CPU; the
+// speedup over BenchmarkSweepSerial tracks the host's core count.
+func BenchmarkSweepParallel(b *testing.B) {
+	workloads, cfgs := sweepBenchInputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := dse.SweepParallel(workloads, cfgs, compiler.Options{}, runtime.GOMAXPROCS(0))
+		if len(points) != len(cfgs) {
+			b.Fatal("short sweep")
+		}
+	}
 }
 
 // BenchmarkPackUnpack measures the variable-length instruction codec.

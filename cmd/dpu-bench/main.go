@@ -19,6 +19,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale vs Table I sizes")
 	largeScale := flag.Float64("large-scale", 0.05, "large-PC suite scale")
 	seed := flag.Int64("seed", 0, "compiler randomization seed")
+	workers := flag.Int("workers", 0, "evaluation worker count (0: one per CPU)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -26,7 +27,7 @@ func main() {
 		fmt.Println(strings.Join(bench.Experiments(), "\n"))
 		return
 	}
-	r := bench.NewRunner(bench.Config{Scale: *scale, LargeScale: *largeScale, Seed: *seed})
+	r := bench.NewRunner(bench.Config{Scale: *scale, LargeScale: *largeScale, Seed: *seed, Workers: *workers})
 	names := bench.Experiments()
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")

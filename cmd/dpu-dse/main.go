@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
@@ -20,6 +21,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 0.25, "workload scale vs Table I sizes")
 	seed := flag.Int64("seed", 0, "compiler randomization seed")
+	workers := flag.Int("workers", 0, "sweep worker count (0: one per CPU)")
 	flag.Parse()
 
 	var suite []*dag.Graph
@@ -30,9 +32,13 @@ func main() {
 		g, _ := sptrsv.Build(s, *scale)
 		suite = append(suite, g)
 	}
-	fmt.Printf("sweeping %d configurations over %d workloads (scale %.2f)\n",
-		len(dse.Grid()), len(suite), *scale)
-	points := dse.Sweep(suite, dse.Grid(), compiler.Options{Seed: *seed})
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sweeping %d configurations over %d workloads (scale %.2f, %d workers)\n",
+		len(dse.Grid()), len(suite), *scale, nw)
+	points := dse.SweepParallel(suite, dse.Grid(), compiler.Options{Seed: *seed}, nw)
 	fmt.Printf("%-24s %10s %10s %12s %9s\n", "config", "lat(ns)", "E(pJ)", "EDP(pJ*ns)", "area(mm2)")
 	for _, p := range points {
 		if !p.Feasible {

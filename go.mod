@@ -1,0 +1,3 @@
+module dpuv2
+
+go 1.24

@@ -6,16 +6,20 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/baseline"
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
+	"dpuv2/internal/dse"
 	"dpuv2/internal/energy"
+	"dpuv2/internal/par"
 	"dpuv2/internal/pc"
 	"dpuv2/internal/sim"
 	"dpuv2/internal/sptrsv"
@@ -24,19 +28,31 @@ import (
 // Config scales the harness. Scale multiplies the Table I node counts of
 // the PC and SpTRSV suites; LargeScale does the same for the large-PC
 // suite (full scale means 3.3M-node circuits — correct but slow).
+// Workers bounds the evaluation parallelism of the sweep-heavy
+// experiments (fig. 11/12/13); <= 0 means one worker per CPU.
 type Config struct {
 	Scale      float64
 	LargeScale float64
 	Seed       int64
+	Workers    int
 }
 
 // DefaultConfig keeps every experiment under a few seconds.
 func DefaultConfig() Config { return Config{Scale: 0.15, LargeScale: 0.01} }
 
-// Runner caches compiled/simulated workloads across experiments.
+// Runner caches compiled/simulated workloads across experiments. The
+// cache is guarded so experiment generators may evaluate workloads from
+// a worker pool; each key is computed exactly once even when workers
+// request it concurrently.
 type Runner struct {
 	cfg   Config
-	cache map[string]*evalResult
+	mu    sync.Mutex
+	cache map[string]*evalEntry
+
+	// The full 48-point DSE sweep is shared by fig. 11 and fig. 12;
+	// computing it once saves the second-most expensive experiment.
+	sweepOnce   sync.Once
+	sweepPoints []dse.Point
 }
 
 // NewRunner creates a harness with the given scaling.
@@ -47,7 +63,7 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.LargeScale <= 0 {
 		cfg.LargeScale = DefaultConfig().LargeScale
 	}
-	return &Runner{cfg: cfg, cache: map[string]*evalResult{}}
+	return &Runner{cfg: cfg, cache: map[string]*evalEntry{}}
 }
 
 type workload struct {
@@ -91,12 +107,32 @@ type evalResult struct {
 	est      energy.Estimate
 }
 
+// evalEntry is one cache slot; once makes concurrent requests for the
+// same key compute it a single time (errors are cached too — every
+// evaluation is deterministic, so retrying cannot help).
+type evalEntry struct {
+	once sync.Once
+	res  *evalResult
+	err  error
+}
+
 // eval compiles and simulates one workload on one configuration, cached.
 func (r *Runner) eval(w workload, cfg arch.Config, opts compiler.Options) (*evalResult, error) {
 	key := fmt.Sprintf("%s|%v|%d|%v|%d", w.name, cfg, opts.Seed, opts.RandomBanks, opts.PartitionSize)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &evalEntry{}
+		r.cache[key] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = r.evalUncached(w, cfg, opts)
+	})
+	return e.res, e.err
+}
+
+func (r *Runner) evalUncached(w workload, cfg arch.Config, opts compiler.Options) (*evalResult, error) {
 	c, err := compiler.Compile(w.graph, cfg, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", w.name, cfg, err)
@@ -106,17 +142,26 @@ func (r *Runner) eval(w workload, cfg arch.Config, opts compiler.Options) (*eval
 	for i := range inputs {
 		inputs[i] = 0.25 + 0.75*rng.Float64()
 	}
-	res, err := sim.Run(c, inputs)
+	sres, err := sim.Run(c, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", w.name, cfg, err)
 	}
-	er := &evalResult{
+	return &evalResult{
 		compiled: c,
-		simStats: res.Stats,
-		est:      energy.EstimateRun(cfg, c.Stats.Nodes, res.Stats, c.Prog),
-	}
-	r.cache[key] = er
-	return er, nil
+		simStats: sres.Stats,
+		est:      energy.EstimateRun(cfg, c.Stats.Nodes, sres.Stats, c.Prog),
+	}, nil
+}
+
+// forEach runs fn(0..n-1) on a pool of r.cfg.Workers workers (<= 0: one
+// per CPU) and joins the per-index errors. Output written by fn at its
+// own index stays deterministically ordered.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	par.ForEach(n, r.cfg.Workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	return errors.Join(errs...)
 }
 
 // Experiments lists the available experiment names in paper order.

@@ -194,10 +194,19 @@ func (r *Runner) dseWorkloads() []*dag.Graph {
 	return []*dag.Graph{g1, g2, g3, g4}
 }
 
+// dsePoints runs the 48-point sweep once per Runner and shares the
+// result between the experiments that consume it (fig. 11 and fig. 12).
+func (r *Runner) dsePoints() []dse.Point {
+	r.sweepOnce.Do(func() {
+		r.sweepPoints = dse.SweepParallel(r.dseWorkloads(), dse.Grid(), compiler.Options{Seed: r.cfg.Seed}, r.cfg.Workers)
+	})
+	return r.sweepPoints
+}
+
 // Fig11 reproduces the design-space exploration: latency, energy and EDP
 // per operation across the 48 (D,B,R) points, and the three optima.
 func (r *Runner) Fig11() (string, error) {
-	points := dse.Sweep(r.dseWorkloads(), dse.Grid(), compiler.Options{Seed: r.cfg.Seed})
+	points := r.dsePoints()
 	var sb strings.Builder
 	sb.WriteString("Fig 11 — design space exploration (per-op means over workloads)\n")
 	fmt.Fprintf(&sb, "%-22s %10s %10s %12s\n", "config", "lat(ns)", "E(pJ)", "EDP(pJ*ns)")
@@ -223,7 +232,7 @@ func (r *Runner) Fig11() (string, error) {
 // Fig12 reproduces the latency-energy scatter with the iso-EDP curve
 // through the min-EDP point.
 func (r *Runner) Fig12() (string, error) {
-	points := dse.Sweep(r.dseWorkloads(), dse.Grid(), compiler.Options{Seed: r.cfg.Seed})
+	points := r.dsePoints()
 	best, ok := dse.Best(points, dse.MinEDP)
 	if !ok {
 		return "", fmt.Errorf("bench: no feasible DSE point")
@@ -246,13 +255,20 @@ func (r *Runner) Fig13() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Fig 13 — instruction breakdown (% of instructions)\n")
 	fmt.Fprintf(&sb, "%-10s %7s %7s %7s %7s %7s %7s\n", "workload", "exec", "load", "store", "copy", "nop", "total")
-	for _, w := range r.suite() {
-		ev, err := r.eval(w, arch.MinEDP(), compiler.Options{Seed: r.cfg.Seed})
-		if err != nil {
-			return "", err
-		}
-		counts := ev.compiled.Prog.Counts()
-		total := float64(len(ev.compiled.Prog.Instrs))
+	suite := r.suite()
+	// Evaluate the suite on the worker pool, then format in suite order.
+	evs := make([]*evalResult, len(suite))
+	err := r.forEach(len(suite), func(i int) error {
+		ev, err := r.eval(suite[i], arch.MinEDP(), compiler.Options{Seed: r.cfg.Seed})
+		evs[i] = ev
+		return err
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, w := range suite {
+		counts := evs[i].compiled.Prog.Counts()
+		total := float64(len(evs[i].compiled.Prog.Instrs))
 		pct := func(k arch.Kind) float64 { return 100 * float64(counts[k]) / total }
 		fmt.Fprintf(&sb, "%-10s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %7d\n",
 			w.name, pct(arch.KindExec), pct(arch.KindLoad),

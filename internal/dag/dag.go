@@ -11,6 +11,7 @@ package dag
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Op is the operation performed by a node. The DPU-v2 datapath supports
@@ -71,14 +72,23 @@ type Node struct {
 
 // Graph is an arena of nodes plus optional bookkeeping. The zero value is
 // an empty usable graph.
+//
+// A fully built graph is safe for concurrent readers (Succs, Fanout,
+// Outputs, …): the derived adjacency is memoized behind an atomic pointer,
+// so parallel compilations may share one workload graph. Mutation (Add*)
+// is not safe concurrently with anything else.
 type Graph struct {
 	// Name labels the workload for reports (e.g. "mnist", "jagmesh4").
 	Name  string
 	nodes []Node
 
 	// memoized derived state, invalidated on mutation
+	derived atomic.Pointer[derived]
+}
+
+// derived is the adjacency bookkeeping computed once per graph revision.
+type derived struct {
 	succs   [][]NodeID
-	nOut    []int32
 	outputs []NodeID
 }
 
@@ -134,28 +144,24 @@ func (g *Graph) append(n Node) NodeID {
 }
 
 func (g *Graph) invalidate() {
-	g.succs = nil
-	g.nOut = nil
-	g.outputs = nil
+	g.derived.Store(nil)
 }
 
 // Succs returns the successor (consumer) list of node id. The underlying
 // adjacency is computed once and cached; callers must not mutate the
 // returned slice.
 func (g *Graph) Succs(id NodeID) []NodeID {
-	g.ensureSuccs()
-	return g.succs[id]
+	return g.ensureDerived().succs[id]
 }
 
 // Fanout returns the number of consumers of node id.
 func (g *Graph) Fanout(id NodeID) int {
-	g.ensureSuccs()
-	return len(g.succs[id])
+	return len(g.ensureDerived().succs[id])
 }
 
-func (g *Graph) ensureSuccs() {
-	if g.succs != nil {
-		return
+func (g *Graph) ensureDerived() *derived {
+	if d := g.derived.Load(); d != nil {
+		return d
 	}
 	counts := make([]int32, len(g.nodes))
 	for i := range g.nodes {
@@ -170,32 +176,32 @@ func (g *Graph) ensureSuccs() {
 		total += int(c)
 	}
 	backing := make([]NodeID, total)
-	g.succs = make([][]NodeID, len(g.nodes))
+	d := &derived{succs: make([][]NodeID, len(g.nodes))}
 	off := 0
 	for i, c := range counts {
-		g.succs[i] = backing[off : off : off+int(c)]
+		d.succs[i] = backing[off : off : off+int(c)]
 		off += int(c)
 	}
 	for i := range g.nodes {
 		for _, a := range g.nodes[i].Args {
-			g.succs[a] = append(g.succs[a], NodeID(i))
+			d.succs[a] = append(d.succs[a], NodeID(i))
 		}
 	}
+	for i := range g.nodes {
+		if len(d.succs[i]) == 0 {
+			d.outputs = append(d.outputs, NodeID(i))
+		}
+	}
+	// Concurrent first readers may compute d twice; the results are
+	// identical, and the CAS keeps every reader on one winner.
+	g.derived.CompareAndSwap(nil, d)
+	return g.derived.Load()
 }
 
 // Outputs returns the sink nodes (fanout zero) of the graph, in id order.
 // These are the externally observable results of executing the DAG.
 func (g *Graph) Outputs() []NodeID {
-	if g.outputs != nil {
-		return g.outputs
-	}
-	g.ensureSuccs()
-	for i := range g.nodes {
-		if len(g.succs[i]) == 0 {
-			g.outputs = append(g.outputs, NodeID(i))
-		}
-	}
-	return g.outputs
+	return g.ensureDerived().outputs
 }
 
 // Inputs returns the ids of all OpInput leaves in id order.

@@ -14,6 +14,7 @@ import (
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/energy"
+	"dpuv2/internal/par"
 	"dpuv2/internal/sim"
 )
 
@@ -63,32 +64,59 @@ func Evaluate(g *dag.Graph, cfg arch.Config, opts compiler.Options) (energy.Esti
 	return energy.EstimateRun(cfg, c.Stats.Nodes, res.Stats, c.Prog), nil
 }
 
+// evaluatePoint evaluates one configuration over the workload suite. An
+// error on any workload marks the point infeasible and carries that
+// error; evaluation of the remaining configurations is unaffected (no
+// sweep-wide bail).
+func evaluatePoint(workloads []*dag.Graph, cfg arch.Config, opts compiler.Options) Point {
+	p := Point{Cfg: cfg.Normalize(), Feasible: true}
+	var lat, en float64
+	for _, g := range workloads {
+		est, err := Evaluate(g, cfg, opts)
+		if err != nil {
+			p.Feasible = false
+			p.Err = err
+			break
+		}
+		lat += est.LatencyPerOp
+		en += est.EnergyPerOp
+		p.AreaMM2 = est.AreaMM2
+	}
+	if p.Feasible && len(workloads) > 0 {
+		p.LatencyPerOp = lat / float64(len(workloads))
+		p.EnergyPerOp = en / float64(len(workloads))
+		p.EDP = p.LatencyPerOp * p.EnergyPerOp
+	}
+	return p
+}
+
 // Sweep evaluates every configuration over every workload and returns one
 // Point per configuration with per-op metrics averaged over workloads,
-// like the paper's fig. 11.
+// like the paper's fig. 11. It uses every available CPU; see
+// SweepParallel for an explicit worker count.
 func Sweep(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options) []Point {
-	points := make([]Point, 0, len(cfgs))
-	for _, cfg := range cfgs {
-		p := Point{Cfg: cfg.Normalize(), Feasible: true}
-		var lat, en float64
-		for _, g := range workloads {
-			est, err := Evaluate(g, cfg, opts)
-			if err != nil {
-				p.Feasible = false
-				p.Err = err
-				break
-			}
-			lat += est.LatencyPerOp
-			en += est.EnergyPerOp
-			p.AreaMM2 = est.AreaMM2
+	return SweepParallel(workloads, cfgs, opts, 0)
+}
+
+// SweepParallel is Sweep with an explicit worker count (workers <= 0
+// means GOMAXPROCS). Configurations are distributed over a worker pool;
+// every point is evaluated independently, failures are captured per
+// point, and the returned slice is in cfgs order regardless of worker
+// interleaving — the output is point-for-point identical to a serial
+// sweep because each evaluation is deterministic and shares nothing
+// mutable.
+func SweepParallel(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options, workers int) []Point {
+	// Force the lazily memoized graph adjacency into existence before
+	// fanning out, so the workers strictly read the shared graphs.
+	for _, g := range workloads {
+		if g.NumNodes() > 0 {
+			g.Outputs()
 		}
-		if p.Feasible && len(workloads) > 0 {
-			p.LatencyPerOp = lat / float64(len(workloads))
-			p.EnergyPerOp = en / float64(len(workloads))
-			p.EDP = p.LatencyPerOp * p.EnergyPerOp
-		}
-		points = append(points, p)
 	}
+	points := make([]Point, len(cfgs))
+	par.ForEach(len(cfgs), workers, func(i int) {
+		points[i] = evaluatePoint(workloads, cfgs[i], opts)
+	})
 	return points
 }
 

@@ -82,6 +82,45 @@ func TestSweepAndBest(t *testing.T) {
 	}
 }
 
+// TestSweepParallelMatchesSerial asserts the worker pool changes nothing
+// observable: every point of a parallel sweep must be identical,
+// field for field, to the serial sweep — including captured errors on
+// infeasible points.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	suite := smallSuite()
+	// A slice of the real grid plus a deliberately infeasible point so
+	// the comparison covers the error-capture path.
+	cfgs := []arch.Config{
+		{D: 1, B: 8, R: 32, Output: arch.OutPerLayer},
+		{D: 2, B: 16, R: 32, Output: arch.OutPerLayer},
+		{D: 2, B: 16, R: 64, Output: arch.OutCrossbar},
+		{D: 3, B: 32, R: 16, Output: arch.OutPerLayer},
+		{D: 3, B: 64, R: 32, Output: arch.OutPerLayer},
+		{D: 3, B: 8, R: 2, Output: arch.OutPerLayer}, // likely infeasible: tiny R
+	}
+	serial := SweepParallel(suite, cfgs, compiler.Options{}, 1)
+	for _, workers := range []int{2, 4, len(cfgs) + 3} {
+		parallel := SweepParallel(suite, cfgs, compiler.Options{}, workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d points, serial has %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			s, p := serial[i], parallel[i]
+			if s.Cfg != p.Cfg || s.LatencyPerOp != p.LatencyPerOp ||
+				s.EnergyPerOp != p.EnergyPerOp || s.EDP != p.EDP ||
+				s.AreaMM2 != p.AreaMM2 || s.Feasible != p.Feasible {
+				t.Errorf("workers=%d point %d: parallel %+v != serial %+v", workers, i, p, s)
+			}
+			switch {
+			case (s.Err == nil) != (p.Err == nil):
+				t.Errorf("workers=%d point %d: error presence differs: %v vs %v", workers, i, p.Err, s.Err)
+			case s.Err != nil && s.Err.Error() != p.Err.Error():
+				t.Errorf("workers=%d point %d: error text differs:\n  parallel: %v\n  serial:   %v", workers, i, p.Err, s.Err)
+			}
+		}
+	}
+}
+
 func TestInfeasiblePointReported(t *testing.T) {
 	// A graph with a huge working set cannot compile at tiny R.
 	g := dag.RandomGraph(dag.RandomConfig{Inputs: 400, Interior: 3000, MaxArgs: 2, MulFrac: 0.5, Seed: 2})

@@ -1,0 +1,46 @@
+// Package par provides the indexed worker pool shared by the DSE sweep
+// and the bench harness: n independent tasks distributed over a bounded
+// set of goroutines, with results written at the task's own index so
+// output order never depends on scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on a pool of workers goroutines (<= 0: one per
+// CPU) and returns once every call has finished. fn must be safe to call
+// concurrently; writes it makes at its own index need no further
+// synchronization because ForEach establishes a completion barrier.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

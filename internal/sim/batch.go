@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,6 +15,10 @@ import (
 // core is a full Machine; results are returned in input order. Aggregate
 // throughput scales with the core count because the cores share nothing
 // but the (read-only) program.
+//
+// On failure the results slice is still returned, with a nil entry for
+// every failed batch and the per-batch errors joined, so callers can
+// salvage the completed part of a batch.
 func RunBatch(c *compiler.Compiled, batches [][]float64, cores int) ([]*Result, error) {
 	if cores < 1 {
 		cores = 1
@@ -34,8 +39,8 @@ func RunBatch(c *compiler.Compiled, batches [][]float64, cores int) ([]*Result, 
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: batch %d: %w", i, err)
+			errs[i] = fmt.Errorf("sim: batch %d: %w", i, err)
 		}
 	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"dpuv2/internal/arch"
@@ -46,6 +48,42 @@ func TestRunBatchPropagatesError(t *testing.T) {
 	}
 	if _, err := RunBatch(c, [][]float64{{1, 2}, {1}}, 2); err == nil {
 		t.Fatal("short input vector should fail")
+	}
+}
+
+// TestRunBatchSalvagesPartialResults checks the failure contract: every
+// batch that succeeds is returned even when siblings fail, and the joined
+// error names each failing batch.
+func TestRunBatchSalvagesPartialResults(t *testing.T) {
+	g := dag.New("g")
+	a := g.AddInput()
+	b := g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	c, err := compiler.Compile(g, arch.Config{D: 1, B: 8, R: 8, Output: arch.OutPerLayer}, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches 1 and 3 have the wrong arity and must fail; 0 and 2 succeed.
+	batches := [][]float64{{1, 2}, {1}, {3, 4}, {}}
+	results, err := RunBatch(c, batches, 2)
+	if err == nil {
+		t.Fatal("expected a joined error")
+	}
+	if len(results) != len(batches) {
+		t.Fatalf("got %d results, want %d", len(results), len(batches))
+	}
+	for _, i := range []int{0, 2} {
+		if results[i] == nil {
+			t.Errorf("batch %d succeeded but its result was discarded", i)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if results[i] != nil {
+			t.Errorf("batch %d failed but has a result", i)
+		}
+		if want := fmt.Sprintf("batch %d", i); !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error does not mention %q: %v", want, err)
+		}
 	}
 }
 

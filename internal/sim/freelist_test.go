@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// linearScanLowestFree is the seed's O(R) reference allocator: the fig.
+// 5(d) priority encoder picks the lowest invalid address of the bank.
+func linearScanLowestFree(valid []bool) int {
+	for a := range valid {
+		if !valid[a] {
+			return a
+		}
+	}
+	return -1
+}
+
+// checkFreeListInvariant asserts, for every bank, that the free bitmap is
+// the exact complement of the valid bits and that the bitmap's allocation
+// choice equals the linear scan's.
+func checkFreeListInvariant(t *testing.T, m *Machine, cycle int) {
+	t.Helper()
+	for b := 0; b < m.cfg.B; b++ {
+		for a := 0; a < m.cfg.R; a++ {
+			bit := m.freeBits[b*m.freeWords+a/64]>>(uint(a%64))&1 == 1
+			if bit == m.valid[b][a] {
+				t.Fatalf("cycle %d: bank %d addr %d: free bit %v contradicts valid %v", cycle, b, a, bit, m.valid[b][a])
+			}
+		}
+		want := linearScanLowestFree(m.valid[b])
+		got := -1
+		base := b * m.freeWords
+		for w := 0; w < m.freeWords; w++ {
+			if word := m.freeBits[base+w]; word != 0 {
+				got = w << 6
+				for word&1 == 0 {
+					word >>= 1
+					got++
+				}
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("cycle %d: bank %d: bitmap would allocate %d, linear scan %d", cycle, b, got, want)
+		}
+	}
+}
+
+// TestFreeListMatchesLinearScanOnTrace replays real compiled program
+// traces instruction by instruction and checks after every cycle that the
+// bitmap allocator would make exactly the allocation the seed's linear
+// scan made — i.e. the priority-encoder semantics are preserved bit for
+// bit across the whole trace, including spill-induced churn.
+func TestFreeListMatchesLinearScanOnTrace(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  arch.Config
+		gen  dag.RandomConfig
+	}{
+		{
+			// R=65 straddles a bitmap word boundary.
+			"wordBoundary",
+			arch.Config{D: 2, B: 8, R: 65, Output: arch.OutPerLayer},
+			dag.RandomConfig{Inputs: 24, Interior: 400, MaxArgs: 3, MulFrac: 0.5, Seed: 41},
+		},
+		{
+			// Tiny R forces spilling, churning frees and reallocations.
+			"spilling",
+			arch.Config{D: 2, B: 8, R: 6, Output: arch.OutPerLayer},
+			dag.RandomConfig{Inputs: 20, Interior: 300, MaxArgs: 3, MulFrac: 0.5, Seed: 42},
+		},
+		{
+			"minEDP",
+			arch.MinEDP(),
+			dag.RandomConfig{Inputs: 16, Interior: 500, MaxArgs: 4, MulFrac: 0.4, Seed: 43},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := dag.RandomGraph(tc.gen)
+			c, err := compiler.Compile(g, tc.cfg, compiler.Options{Seed: 7})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+			for i, w := range c.InputWord {
+				if w >= 0 {
+					if err := m.SetMem(w, 0.25+float64(i%11)/13); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			checkFreeListInvariant(t, m, -1)
+			for i, in := range c.Prog.Instrs {
+				if err := m.step(in); err != nil {
+					t.Fatalf("instruction %d: %v", i, err)
+				}
+				checkFreeListInvariant(t, m, m.cycle)
+			}
+			for d := 0; d < m.cfg.D+1; d++ {
+				if err := m.endCycle(); err != nil {
+					t.Fatal(err)
+				}
+				checkFreeListInvariant(t, m, m.cycle)
+			}
+		})
+	}
+}
+
+// TestMachineRunNoAllocsSteadyState asserts the hot path is allocation
+// free: once a Machine exists, stepping instructions must not allocate.
+func TestMachineRunNoAllocsSteadyState(t *testing.T) {
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 16, Interior: 300, MaxArgs: 3, MulFrac: 0.5, Seed: 44})
+	c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+		for i, w := range c.InputWord {
+			if w >= 0 {
+				m.SetMem(w, float64(i))
+			}
+		}
+		if err := m.Run(c.Prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up
+	perRun := testing.AllocsPerRun(10, run)
+	// Everything left is Machine construction (a fixed count independent
+	// of program length); the per-instruction loop itself contributes
+	// nothing. The seed allocated 5 slices per exec instruction, putting
+	// this in the hundreds.
+	limit := float64(30)
+	if perRun > limit {
+		t.Errorf("Machine construction+run allocates %.0f times, want <= %.0f", perRun, limit)
+	}
+}

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dpuv2/internal/arch"
 )
@@ -42,9 +43,27 @@ type Machine struct {
 	valid [][]bool
 	mem   []float64
 
+	// freeBits mirrors valid as a bank-major bitmap (bit set = address
+	// free), so the fig. 5(d) valid-bit priority encoder — "a landing
+	// write takes the lowest free address of its bank" — is a
+	// trailing-zeros scan over at most ceil(R/64) words instead of an
+	// O(R) linear probe. freeWords is the number of words per bank.
+	freeBits  []uint64
+	freeWords int
+
 	ring     [][]landing // pending writes by landing cycle % len
 	cycle    int
 	occupied []int
+
+	// exec scratch, sized once in NewMachine and reused every cycle so
+	// the hot path does not allocate. The value slices (port, val) may
+	// hold stale data between instructions; every read is gated by the
+	// corresponding liveness flag (portUsed, live), which are cleared.
+	portUsed  []bool
+	port      []float64
+	readBanks []bool
+	val       []float64
+	live      []bool
 
 	stats Stats
 
@@ -64,17 +83,41 @@ type landing struct {
 func NewMachine(cfg arch.Config, initMem []float64) *Machine {
 	cfg = cfg.Normalize()
 	m := &Machine{
-		cfg:      cfg,
-		regs:     make([][]float64, cfg.B),
-		valid:    make([][]bool, cfg.B),
-		mem:      make([]float64, len(initMem)),
-		ring:     make([][]landing, cfg.D+2),
-		occupied: make([]int, cfg.B),
+		cfg:       cfg,
+		regs:      make([][]float64, cfg.B),
+		valid:     make([][]bool, cfg.B),
+		mem:       make([]float64, len(initMem)),
+		freeWords: (cfg.R + 63) / 64,
+		ring:      make([][]landing, cfg.D+2),
+		occupied:  make([]int, cfg.B),
+		portUsed:  make([]bool, cfg.B),
+		port:      make([]float64, cfg.B),
+		readBanks: make([]bool, cfg.B),
+		val:       make([]float64, cfg.NumPEs()),
+		live:      make([]bool, cfg.NumPEs()),
 	}
 	copy(m.mem, initMem)
+	// Single backing arrays for the register file keep NewMachine at a
+	// constant allocation count regardless of B.
+	regBacking := make([]float64, cfg.B*cfg.R)
+	validBacking := make([]bool, cfg.B*cfg.R)
 	for b := 0; b < cfg.B; b++ {
-		m.regs[b] = make([]float64, cfg.R)
-		m.valid[b] = make([]bool, cfg.R)
+		m.regs[b] = regBacking[b*cfg.R : (b+1)*cfg.R : (b+1)*cfg.R]
+		m.valid[b] = validBacking[b*cfg.R : (b+1)*cfg.R : (b+1)*cfg.R]
+	}
+	m.freeBits = make([]uint64, cfg.B*m.freeWords)
+	for b := 0; b < cfg.B; b++ {
+		base := b * m.freeWords
+		for a := 0; a < cfg.R; a += 64 {
+			if cfg.R-a >= 64 {
+				m.freeBits[base+a/64] = ^uint64(0)
+			} else {
+				m.freeBits[base+a/64] = 1<<uint(cfg.R-a) - 1
+			}
+		}
+	}
+	for i := range m.ring {
+		m.ring[i] = make([]landing, 0, cfg.B)
 	}
 	m.stats.Instrs = make(map[arch.Kind]int)
 	m.stats.PeakActive = make([]int, cfg.B)
@@ -123,8 +166,24 @@ func (m *Machine) readReg(bank, addr int) (float64, error) {
 func (m *Machine) free(bank, addr int) {
 	if m.valid[bank][addr] {
 		m.valid[bank][addr] = false
+		m.freeBits[bank*m.freeWords+addr/64] |= 1 << uint(addr%64)
 		m.occupied[bank]--
 	}
+}
+
+// allocLowestFree claims and returns the lowest free register address of
+// bank — the fig. 5(d) priority-encoder choice — or -1 when the bank is
+// full.
+func (m *Machine) allocLowestFree(bank int) int {
+	base := bank * m.freeWords
+	for w := 0; w < m.freeWords; w++ {
+		if word := m.freeBits[base+w]; word != 0 {
+			t := bits.TrailingZeros64(word)
+			m.freeBits[base+w] = word &^ (1 << uint(t))
+			return w<<6 | t
+		}
+	}
+	return -1
 }
 
 func (m *Machine) scheduleWrite(bank int, v float64, land int) error {
@@ -142,13 +201,7 @@ func (m *Machine) scheduleWrite(bank int, v float64, land int) error {
 func (m *Machine) endCycle() error {
 	slot := m.cycle % len(m.ring)
 	for _, l := range m.ring[slot] {
-		addr := -1
-		for a := 0; a < m.cfg.R; a++ {
-			if !m.valid[l.bank][a] {
-				addr = a
-				break
-			}
-		}
+		addr := m.allocLowestFree(l.bank)
 		if addr < 0 {
 			return fmt.Errorf("sim: cycle %d: bank %d overflow", m.cycle, l.bank)
 		}
@@ -274,9 +327,22 @@ func (m *Machine) step(in *arch.Instr) error {
 // exec evaluates the PE trees for one datapath cycle.
 func (m *Machine) exec(in *arch.Instr) error {
 	cfg := m.cfg
+	// Reset the reused scratch liveness flags; the value slices keep
+	// stale data, which is never observed because every read is gated by
+	// these flags.
+	portUsed, port, readBanks := m.portUsed, m.port, m.readBanks
+	val, live := m.val, m.live
+	for i := range portUsed {
+		portUsed[i] = false
+	}
+	for i := range readBanks {
+		readBanks[i] = false
+	}
+	for i := range live {
+		live[i] = false
+	}
 	// Port values through the input crossbar; a port is live only if a
 	// leaf PE consumes it, so reads are demand-driven.
-	portUsed := make([]bool, cfg.B)
 	for id, op := range in.PEOps {
 		p := cfg.PECoord(id)
 		if p.Layer != 1 || op == arch.PEIdle {
@@ -292,8 +358,6 @@ func (m *Machine) exec(in *arch.Instr) error {
 			portUsed[r] = true
 		}
 	}
-	port := make([]float64, cfg.B)
-	readBanks := make([]bool, cfg.B)
 	for pn := 0; pn < cfg.B; pn++ {
 		if !portUsed[pn] {
 			continue
@@ -317,8 +381,6 @@ func (m *Machine) exec(in *arch.Instr) error {
 		}
 	}
 	// Evaluate layer by layer.
-	val := make([]float64, cfg.NumPEs())
-	live := make([]bool, cfg.NumPEs())
 	for l := 1; l <= cfg.D; l++ {
 		for t := 0; t < cfg.Trees(); t++ {
 			for k := 0; k < cfg.LayerWidth(l); k++ {
