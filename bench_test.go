@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/baseline"
@@ -18,6 +19,7 @@ import (
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/dse"
+	"dpuv2/internal/engine"
 	"dpuv2/internal/pc"
 	"dpuv2/internal/sim"
 	"dpuv2/internal/sptrsv"
@@ -128,6 +130,104 @@ func BenchmarkMachineRun(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(c.Stats.Cycles), "cycles/run")
+}
+
+// engineBenchWorkload is the fig.-scale serving workload shared by the
+// engine benchmarks: the same mid-size PC the compiler/simulator
+// micro-benchmarks use.
+func engineBenchWorkload(b *testing.B) (*dag.Graph, []float64) {
+	b.Helper()
+	g := pc.Build(pc.Suite()[1], 0.5)
+	inputs := make([]float64, len(g.Inputs()))
+	for i := range inputs {
+		inputs[i] = 0.5
+	}
+	return g, inputs
+}
+
+// BenchmarkEngineSteadyState measures the serving engine's cache-hit
+// execute path: the program is compiled once, every iteration runs on a
+// pooled, reset machine. Steady state is allocation-free (0 allocs/op);
+// the naive_x metric reports the throughput multiple over a naive
+// per-request Compile+Execute of the same workload (measured once before
+// the timed loop).
+func BenchmarkEngineSteadyState(b *testing.B) {
+	g, inputs := engineBenchWorkload(b)
+	eng := engine.New(engine.Options{})
+	c, err := eng.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, len(c.Graph.Outputs()))
+	// One naive request for the amortization metric: fresh compile plus
+	// fresh-machine execution, what the façade did before the engine.
+	naiveStart := time.Now()
+	nc, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.Run(nc, inputs); err != nil {
+		b.Fatal(err)
+	}
+	naive := time.Since(naiveStart)
+	// Warm the machine pool and lazy caches.
+	if _, err := eng.ExecuteInto(c, inputs, out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteInto(c, inputs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(naive)/float64(perOp), "naive_x")
+	}
+	b.ReportMetric(float64(c.Stats.Cycles), "cycles/run")
+}
+
+// BenchmarkEngineNaive is the pre-engine serving path on the same
+// workload — compile and a fresh machine for every request — the
+// denominator of BenchmarkEngineSteadyState's naive_x.
+func BenchmarkEngineNaive(b *testing.B) {
+	g, inputs := engineBenchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(c, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatch measures batched serving: one compile, B-sized
+// input batches fanned over the worker pool onto pooled machines.
+func BenchmarkEngineBatch(b *testing.B) {
+	g, inputs := engineBenchWorkload(b)
+	eng := engine.New(engine.Options{})
+	c, err := eng.Compile(g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 32
+	batches := make([][]float64, batchSize)
+	for i := range batches {
+		batches[i] = inputs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.ExecuteBatch(c, batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(batchSize, "execs/op")
 }
 
 // sweepBenchInputs builds the workload suite and grid shared by the

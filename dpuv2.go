@@ -16,12 +16,16 @@
 package dpuv2
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/energy"
+	"dpuv2/internal/engine"
+	"dpuv2/internal/par"
 	"dpuv2/internal/sim"
 )
 
@@ -66,14 +70,16 @@ type Program struct {
 	compiled *compiler.Compiled
 }
 
+// Fingerprint is a stable content hash of a Graph (the compile-cache
+// address of the serving engine).
+type Fingerprint = dag.Fingerprint
+
 // Compile lowers a DAG onto the given configuration using the four-step
-// compiler of the paper (§IV).
+// compiler of the paper (§IV). It is a thin wrapper over the package's
+// default serving engine: structurally identical graphs compiled for the
+// same configuration and options share one compilation.
 func Compile(g *Graph, cfg Config, opts CompileOptions) (*Program, error) {
-	c, err := compiler.Compile(g, cfg, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Program{compiled: c}, nil
+	return DefaultEngine().Compile(g, cfg, opts)
 }
 
 // Stats exposes what compilation did (instruction mix, conflicts
@@ -105,14 +111,98 @@ type Result struct {
 
 // Execute runs the program on the cycle-accurate simulator with the given
 // input values (in graph-input order) and verifies every sink against the
-// reference evaluator before returning.
+// reference evaluator before returning. It is a thin wrapper over the
+// package's default serving engine, so the machine it runs on comes from
+// the engine's per-configuration pool.
 func Execute(p *Program, inputs []float64) (*Result, error) {
-	res, err := sim.Verify(p.compiled, inputs, 0)
+	return DefaultEngine().Execute(p, inputs)
+}
+
+// EngineOptions tune a serving Engine; the zero value is a
+// production-ready default.
+type EngineOptions = engine.Options
+
+// EngineStats is a snapshot of a serving engine's activity: compile-cache
+// hits/misses/evictions, cached programs, in-flight and completed
+// executions.
+type EngineStats = engine.Stats
+
+// Engine is the compile-once/execute-many serving layer: a
+// content-addressed compile cache (single-flight, LRU-bounded) in front
+// of a per-configuration pool of simulator machines. One Engine serves
+// any number of goroutines.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine returns a serving engine with the given options.
+func NewEngine(opts EngineOptions) *Engine {
+	return &Engine{e: engine.New(opts)}
+}
+
+var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine(EngineOptions{}) })
+
+// DefaultEngine returns the process-wide engine backing the package-level
+// Compile and Execute.
+func DefaultEngine() *Engine { return defaultEngine() }
+
+// Compile returns the compiled program for (g, cfg, opts), compiling at
+// most once per content address: concurrent callers for the same graph,
+// configuration and options share a single compilation; later callers
+// hit the cache.
+func (en *Engine) Compile(g *Graph, cfg Config, opts CompileOptions) (*Program, error) {
+	c, err := en.e.Compile(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{compiled: c}, nil
+}
+
+// Execute runs the program on a pooled machine, verifies every sink
+// against the reference evaluator, and returns the verified result with
+// its performance and energy report.
+func (en *Engine) Execute(p *Program, inputs []float64) (*Result, error) {
+	res, err := en.e.ExecuteCompiled(p.compiled, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("dpuv2: %w", err)
 	}
+	if err := sim.CheckOutputs(p.compiled, inputs, res, 0); err != nil {
+		return nil, fmt.Errorf("dpuv2: %w", err)
+	}
+	return wrapResult(p, res), nil
+}
+
+// ExecuteBatch runs the program over a batch of input vectors on the
+// engine's worker pool. Results come back in input order; failed items
+// are nil with their errors joined, so callers can salvage the completed
+// part of a batch. Successful items are verified against the reference
+// evaluator like Execute — in parallel, since a reference evaluation
+// costs about as much as the simulation it checks.
+func (en *Engine) ExecuteBatch(p *Program, batches [][]float64) ([]*Result, error) {
+	raw, errs := en.e.ExecuteBatchItems(p.compiled, batches)
+	out := make([]*Result, len(raw))
+	par.ForEach(len(raw), en.e.Workers(), func(i int) {
+		if errs[i] != nil {
+			errs[i] = fmt.Errorf("dpuv2: batch %d: %w", i, errs[i])
+			return
+		}
+		if cerr := sim.CheckOutputs(p.compiled, batches[i], raw[i], 0); cerr != nil {
+			errs[i] = fmt.Errorf("dpuv2: batch %d: %w", i, cerr)
+			return
+		}
+		out[i] = wrapResult(p, raw[i])
+	})
+	return out, errors.Join(errs...)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (en *Engine) Stats() EngineStats { return en.e.Stats() }
+
+// wrapResult attaches the energy/performance report to a raw simulator
+// result.
+func wrapResult(p *Program, res *sim.Result) *Result {
 	est := energy.EstimateRun(p.compiled.Prog.Cfg, p.compiled.Stats.Nodes, res.Stats, p.compiled.Prog)
-	out := &Result{
+	return &Result{
 		Outputs: res.Outputs,
 		Sinks:   append([]NodeID(nil), p.compiled.Graph.Outputs()...),
 		Report: Report{
@@ -123,7 +213,6 @@ func Execute(p *Program, inputs []float64) (*Result, error) {
 			EDP:            est.EDP,
 		},
 	}
-	return out, nil
 }
 
 // SinkOf maps a node id of the original (pre-binarization) graph to the

@@ -61,3 +61,181 @@ func TestFacadeRejectsBadConfig(t *testing.T) {
 		t.Fatal("expected config validation error")
 	}
 }
+
+// TestFacadeSinkOf exercises the original-id → binarized-sink remapping
+// on a graph that actually binarizes (a 3-ary node), where the remap is
+// not the identity.
+func TestFacadeSinkOf(t *testing.T) {
+	g := NewGraph("kary")
+	a, b, c := g.AddInput(), g.AddInput(), g.AddInput()
+	root := g.AddOp(OpAdd, a, b, c)
+
+	prog, err := Compile(g, Config{D: 2, B: 8, R: 16}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(prog, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := prog.SinkOf(root)
+	got, ok := res.Outputs[sink]
+	if !ok {
+		t.Fatalf("SinkOf(%d) = %d, not present in outputs %v", root, sink, res.Sinks)
+	}
+	if got != 7 {
+		t.Fatalf("sum = %v, want 7", got)
+	}
+	found := false
+	for _, s := range res.Sinks {
+		if s == sink {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sink %d missing from Sinks %v", sink, res.Sinks)
+	}
+}
+
+// TestFacadeBinaryConsistency pins the packed-binary accessors: the
+// stream length matches BinarySize, is deterministic, and both agree
+// with the bit-level size.
+func TestFacadeBinaryConsistency(t *testing.T) {
+	g := NewGraph("bin")
+	x := g.AddInput()
+	cur := x
+	for i := 0; i < 20; i++ {
+		cur = g.AddOp(OpMul, cur, g.AddConst(1.5))
+	}
+	prog, err := Compile(g, Config{D: 2, B: 8, R: 16}, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := prog.Binary()
+	if len(bin) != prog.BinarySize() {
+		t.Fatalf("len(Binary) = %d, BinarySize = %d", len(bin), prog.BinarySize())
+	}
+	if prog.BinarySize() == 0 {
+		t.Fatal("empty binary for a non-trivial program")
+	}
+	bin2 := prog.Binary()
+	for i := range bin {
+		if bin[i] != bin2[i] {
+			t.Fatalf("Binary() not deterministic at byte %d", i)
+		}
+	}
+}
+
+func TestFacadeWrongInputCount(t *testing.T) {
+	g := NewGraph("arity")
+	a, b := g.AddInput(), g.AddInput()
+	g.AddOp(OpAdd, a, b)
+	prog, err := Compile(g, MinEDP(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(prog, []float64{1}); err == nil {
+		t.Error("expected error for too few inputs")
+	}
+	if _, err := Execute(prog, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for too many inputs")
+	}
+}
+
+// TestFacadeCompileFailureSurfaces covers the failure paths through the
+// engine-backed Compile: structural validation and config validation
+// both surface, and a failed key is retried (not cached).
+func TestFacadeCompileFailureSurfaces(t *testing.T) {
+	empty := NewGraph("empty")
+	if _, err := Compile(empty, MinEDP(), CompileOptions{}); err == nil {
+		t.Error("expected validation error for an empty graph")
+	}
+	// Same failing call again: must fail identically, not return a stale
+	// cached success or panic on a cached error entry.
+	if _, err := Compile(empty, MinEDP(), CompileOptions{}); err == nil {
+		t.Error("expected validation error on retry")
+	}
+}
+
+// TestFacadeEngine exercises the serving layer through the public API:
+// cache hits for repeat compiles, batched execution with per-item error
+// capture, and the stats snapshot.
+func TestFacadeEngine(t *testing.T) {
+	en := NewEngine(EngineOptions{CacheSize: 4})
+	g := NewGraph("serve")
+	a, b := g.AddInput(), g.AddInput()
+	s := g.AddOp(OpAdd, a, b)
+	root := g.AddOp(OpMul, s, g.AddConst(2))
+
+	cfg := Config{D: 2, B: 8, R: 16}
+	prog, err := en.Compile(g, cfg, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Compile(g, cfg, CompileOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := en.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit", st)
+	}
+
+	batches := [][]float64{{1, 2}, {3}, {4, 5}} // middle has wrong arity
+	results, err := en.ExecuteBatch(prog, batches)
+	if err == nil {
+		t.Fatal("expected joined error for the malformed batch")
+	}
+	if results[1] != nil {
+		t.Error("failed batch has a result")
+	}
+	for i, want := range map[int]float64{0: 6, 2: 18} {
+		if results[i] == nil {
+			t.Fatalf("batch %d was not salvaged", i)
+		}
+		if got := results[i].Outputs[prog.SinkOf(root)]; got != want {
+			t.Errorf("batch %d = %v, want %v", i, got, want)
+		}
+		if results[i].Report.Cycles <= 0 {
+			t.Errorf("batch %d report not populated", i)
+		}
+	}
+	if st := en.Stats(); st.Executions != 2 {
+		t.Errorf("executions = %d, want 2", st.Executions)
+	}
+}
+
+// TestFacadeDefaultEngineCaching checks that the package-level
+// Compile/Execute really ride the shared default engine: recompiling a
+// structurally identical graph is a cache hit.
+func TestFacadeDefaultEngineCaching(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph("dflt")
+		a, b := g.AddInput(), g.AddInput()
+		g.AddOp(OpMul, g.AddOp(OpAdd, a, b), g.AddConst(31))
+		return g
+	}
+	before := DefaultEngine().Stats()
+	p1, err := Compile(build(), MinEDP(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(build(), MinEDP(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := DefaultEngine().Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("no cache hit recorded: before %+v, after %+v", before, after)
+	}
+	r1, err := Execute(p1, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(p2, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Outputs[r1.Sinks[0]] != 155 || r2.Outputs[r2.Sinks[0]] != 155 {
+		t.Errorf("results = %v / %v, want 155", r1.Outputs, r2.Outputs)
+	}
+}

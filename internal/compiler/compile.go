@@ -8,6 +8,12 @@ import (
 	"dpuv2/internal/dag"
 )
 
+// Normalized returns the options with defaulted fields filled in, the
+// form Compile actually runs with. Cache layers key on it so that the
+// zero value and an explicitly spelled-out default address the same
+// compiled program.
+func (o Options) Normalized() Options { return o.normalize() }
+
 // Compile lowers a DAG to a DPU-v2 program for the given configuration,
 // running the four steps of §IV. Non-binary graphs are binarized first;
 // the returned Compiled carries the remapping.

@@ -84,6 +84,8 @@ type Graph struct {
 
 	// memoized derived state, invalidated on mutation
 	derived atomic.Pointer[derived]
+	// memoized content hash (see Fingerprint), invalidated on mutation
+	fp atomic.Pointer[Fingerprint]
 }
 
 // derived is the adjacency bookkeeping computed once per graph revision.
@@ -145,6 +147,7 @@ func (g *Graph) append(n Node) NodeID {
 
 func (g *Graph) invalidate() {
 	g.derived.Store(nil)
+	g.fp.Store(nil)
 }
 
 // Succs returns the successor (consumer) list of node id. The underlying

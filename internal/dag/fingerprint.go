@@ -1,0 +1,71 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Fingerprint is a stable 256-bit content hash of a graph's structure:
+// two graphs with the same nodes (ops, argument wiring, constant bit
+// patterns) in the same order have the same fingerprint regardless of
+// their display Name, and any structural difference changes it. It is
+// the cache key of the serving engine's compile cache, so it must be
+// stable across processes and hosts (no map iteration, no pointers).
+type Fingerprint [32]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short returns the first 12 hex digits, enough to label a graph in logs.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// fingerprintDomain versions the hash layout; bump it if the encoding
+// below ever changes so stale persisted keys cannot alias.
+const fingerprintDomain = "dpuv2/dag/fingerprint/v1"
+
+// Fingerprint returns the content hash of the graph. The result is
+// memoized behind an atomic pointer (like the adjacency cache) and
+// invalidated by mutation, so a built graph served many times is hashed
+// once; concurrent readers are safe.
+func (g *Graph) Fingerprint() Fingerprint {
+	if p := g.fp.Load(); p != nil {
+		return *p
+	}
+	h := sha256.New()
+	var scratch [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		h.Write(scratch[:4])
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	h.Write([]byte(fingerprintDomain))
+	put32(uint32(len(g.nodes)))
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		scratch[0] = byte(n.Op)
+		h.Write(scratch[:1])
+		switch n.Op {
+		case OpConst:
+			put64(math.Float64bits(n.Val))
+		case OpInput:
+			// position alone identifies an input
+		default:
+			put32(uint32(len(n.Args)))
+			for _, a := range n.Args {
+				put32(uint32(a))
+			}
+		}
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	// Concurrent first callers may hash twice; the results are identical.
+	// Return the local value: a racing mutation may have already cleared
+	// the memo again, so the pointer must not be re-read.
+	g.fp.CompareAndSwap(nil, &f)
+	return f
+}

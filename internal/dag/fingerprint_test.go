@@ -1,0 +1,146 @@
+package dag
+
+import "testing"
+
+func fingerprintDemoGraph() *Graph {
+	g := New("demo")
+	a, b := g.AddInput(), g.AddInput()
+	c := g.AddConst(2.5)
+	s := g.AddOp(OpAdd, a, b)
+	g.AddOp(OpMul, s, c)
+	return g
+}
+
+func TestFingerprintDeterministicAndNameBlind(t *testing.T) {
+	g1 := fingerprintDemoGraph()
+	g2 := fingerprintDemoGraph()
+	g2.Name = "something else"
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("structurally equal graphs hash differently")
+	}
+	if g1.Fingerprint() != g1.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+	if g1.Fingerprint().String() == "" || g1.Fingerprint().Short() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintDemoGraph().Fingerprint()
+
+	// Different op.
+	g := New("")
+	a, b := g.AddInput(), g.AddInput()
+	c := g.AddConst(2.5)
+	s := g.AddOp(OpMul, a, b) // was OpAdd
+	g.AddOp(OpMul, s, c)
+	if g.Fingerprint() == base {
+		t.Error("op change did not change the hash")
+	}
+
+	// Different constant (even by one ulp-scale bit pattern).
+	g = New("")
+	a, b = g.AddInput(), g.AddInput()
+	c = g.AddConst(2.5000000000000004)
+	s = g.AddOp(OpAdd, a, b)
+	g.AddOp(OpMul, s, c)
+	if g.Fingerprint() == base {
+		t.Error("const change did not change the hash")
+	}
+
+	// Different wiring (argument order is structural).
+	g = New("")
+	a, b = g.AddInput(), g.AddInput()
+	c = g.AddConst(2.5)
+	s = g.AddOp(OpAdd, b, a)
+	g.AddOp(OpMul, s, c)
+	if g.Fingerprint() == base {
+		t.Error("argument-order change did not change the hash")
+	}
+
+	// Extra node.
+	g = fingerprintDemoGraph()
+	g.AddInput()
+	if g.Fingerprint() == base {
+		t.Error("appended node did not change the hash")
+	}
+}
+
+func TestFingerprintInvalidatedByMutation(t *testing.T) {
+	g := fingerprintDemoGraph()
+	before := g.Fingerprint()
+	g.AddOp(OpAdd, 0, 1)
+	if g.Fingerprint() == before {
+		t.Error("mutation after hashing returned the stale memo")
+	}
+}
+
+// fuzzGraph deterministically builds a graph from a byte string; the
+// same bytes always produce the same structure.
+func fuzzGraph(data []byte) *Graph {
+	g := New("fuzz")
+	g.AddInput()
+	for i, b := range data {
+		n := g.NumNodes()
+		switch b % 4 {
+		case 0:
+			g.AddInput()
+		case 1:
+			g.AddConst(float64(b) * 0.75)
+		default:
+			x := NodeID(int(b>>2) % n)
+			y := NodeID((i + int(b>>4)) % n)
+			op := OpAdd
+			if b%4 == 3 {
+				op = OpMul
+			}
+			g.AddOp(op, x, y)
+		}
+	}
+	return g
+}
+
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte("serving engines hash graphs"))
+	f.Add([]byte{255, 254, 7, 7, 7, 13, 200, 3, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		h := g.Fingerprint()
+
+		// Equal construction → equal hash, independent of Name.
+		g2 := fuzzGraph(data)
+		g2.Name = "renamed"
+		if g2.Fingerprint() != h {
+			t.Fatalf("equal graphs hash unequal: %s vs %s", g2.Fingerprint(), h)
+		}
+
+		// Any structural mutation must change the hash.
+		m := fuzzGraph(data)
+		m.AddInput()
+		if m.Fingerprint() == h {
+			t.Error("appending a node kept the hash")
+		}
+
+		m = fuzzGraph(data)
+		for i := 0; i < m.NumNodes(); i++ {
+			n := m.Node(NodeID(i))
+			switch n.Op {
+			case OpAdd:
+				n.Op = OpMul
+			case OpMul:
+				n.Op = OpAdd
+			case OpConst:
+				n.Val++
+			case OpInput:
+				continue
+			}
+			if m.Fingerprint() == h {
+				t.Errorf("mutating node %d (%v) kept the hash", i, n.Op)
+			}
+			break
+		}
+	})
+}

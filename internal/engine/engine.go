@@ -1,0 +1,385 @@
+// Package engine is the compile-once/execute-many serving layer of the
+// DPU-v2 reproduction. The paper's premise is that a DAG workload is
+// compiled once for a fixed hardware configuration and then executed
+// many times with different inputs; the engine amortizes exactly that:
+//
+//   - a content-addressed compile cache keyed by the graph's stable
+//     Fingerprint plus the (normalized) hardware configuration and
+//     compiler options, LRU-bounded, with single-flight admission so
+//     concurrent requests for the same graph compile it exactly once;
+//
+//   - a per-configuration pool of sim.Machine instances; Machine.Reset
+//     makes a pooled machine observationally identical to a fresh one,
+//     so steady-state execution allocates nothing;
+//
+//   - batched execution fanning input sets out over the internal/par
+//     worker pool with per-item error capture;
+//
+//   - an atomically maintained Stats snapshot for observability.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/par"
+	"dpuv2/internal/sim"
+)
+
+// Options configure an Engine; the zero value is a production-ready
+// default.
+type Options struct {
+	// CacheSize bounds the number of cached compiled programs (LRU
+	// eviction beyond it). Default 128.
+	CacheSize int
+	// PoolSize bounds the idle machines retained per configuration;
+	// machines beyond it are dropped to the GC. Default 2×GOMAXPROCS.
+	PoolSize int
+	// Workers sizes the ExecuteBatch worker pool. Default GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) normalize() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	// Hits counts Compile calls answered from the cache (including
+	// waits on a compilation already in flight).
+	Hits int64
+	// Misses counts Compile calls that started a compilation.
+	Misses int64
+	// Evictions counts cached programs discarded by the LRU bound.
+	Evictions int64
+	// Cached is the number of programs currently cached.
+	Cached int
+	// InFlight is the number of executions currently running.
+	InFlight int64
+	// Executions counts completed successful executions.
+	Executions int64
+}
+
+// cacheKey is the content address of a compiled program. All fields are
+// comparable values: the graph's structural hash, the normalized
+// configuration and the compiler options (which change generated code).
+type cacheKey struct {
+	fp   dag.Fingerprint
+	cfg  arch.Config
+	opts compiler.Options
+}
+
+// entry is one cache slot. done is closed when the single-flight
+// compilation finishes; waiters then read c/err.
+type entry struct {
+	key  cacheKey
+	done chan struct{}
+	c    *compiler.Compiled
+	err  error
+
+	prev, next *entry // LRU list, most-recent first
+}
+
+func (e *entry) completed() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// machinePool is the free list of reset-ready machines for one
+// configuration.
+type machinePool struct {
+	mu   sync.Mutex
+	free []*sim.Machine
+}
+
+// Engine is a compile-once/execute-many server. It is safe for
+// concurrent use by any number of goroutines.
+type Engine struct {
+	opts Options
+
+	mu         sync.Mutex // guards the cache and its counters
+	entries    map[cacheKey]*entry
+	head, tail *entry
+	hits       int64
+	misses     int64
+	evictions  int64
+
+	poolMu sync.Mutex
+	pools  map[arch.Config]*machinePool
+
+	inFlight   atomic.Int64
+	executions atomic.Int64
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	return &Engine{
+		opts:    opts.normalize(),
+		entries: make(map[cacheKey]*entry),
+		pools:   make(map[arch.Config]*machinePool),
+	}
+}
+
+// Compile returns the compiled program for (g, cfg, opts), compiling at
+// most once per content address: concurrent callers for the same key
+// share one compilation, and later callers hit the cache. Compilation
+// failures surface to every waiting caller and are not cached, so a
+// transient failure does not poison the key.
+func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (*compiler.Compiled, error) {
+	k := cacheKey{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: opts.Normalized()}
+
+	e.mu.Lock()
+	if ent, ok := e.entries[k]; ok {
+		e.hits++
+		e.moveToFront(ent)
+		e.mu.Unlock()
+		<-ent.done
+		return ent.c, ent.err
+	}
+	e.misses++
+	ent := &entry{key: k, done: make(chan struct{})}
+	e.entries[k] = ent
+	e.pushFront(ent)
+	e.evictLocked()
+	e.mu.Unlock()
+
+	// A binary graph would be carried by the Compiled as-is (non-binary
+	// graphs are binarized into a fresh one), aliasing the caller's
+	// mutable object into the cache; compile a private clone so a caller
+	// mutating its graph afterwards cannot corrupt cached programs other
+	// requests share. O(n) on a miss only, amortized by the cache.
+	cg := g
+	if g.IsBinary() {
+		cg = g.Clone()
+	}
+	c, err := compiler.Compile(cg, k.cfg, opts)
+	e.mu.Lock()
+	ent.c, ent.err = c, err
+	if err != nil && e.entries[k] == ent {
+		delete(e.entries, k)
+		e.unlink(ent)
+	}
+	close(ent.done) // before evictLocked, which skips unfinished entries
+	// Re-apply the bound: inserts that happened while every resident
+	// entry was still compiling could not evict anything.
+	e.evictLocked()
+	e.mu.Unlock()
+	return c, err
+}
+
+// moveToFront marks ent most recently used. Caller holds e.mu.
+func (e *Engine) moveToFront(ent *entry) {
+	if e.head == ent {
+		return
+	}
+	e.unlink(ent)
+	e.pushFront(ent)
+}
+
+// pushFront links ent at the head. Caller holds e.mu.
+func (e *Engine) pushFront(ent *entry) {
+	ent.prev, ent.next = nil, e.head
+	if e.head != nil {
+		e.head.prev = ent
+	}
+	e.head = ent
+	if e.tail == nil {
+		e.tail = ent
+	}
+}
+
+// unlink removes ent from the LRU list. Caller holds e.mu.
+func (e *Engine) unlink(ent *entry) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else if e.head == ent {
+		e.head = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else if e.tail == ent {
+		e.tail = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits its bound. In-flight compilations are never evicted (their
+// waiters hold the entry), so the cache may transiently exceed the bound
+// while many distinct graphs compile at once. Caller holds e.mu.
+func (e *Engine) evictLocked() {
+	for ent := e.tail; ent != nil && len(e.entries) > e.opts.CacheSize; {
+		victim := ent
+		ent = ent.prev
+		if !victim.completed() {
+			continue
+		}
+		delete(e.entries, victim.key)
+		e.unlink(victim)
+		e.evictions++
+	}
+}
+
+// maxConfigPools bounds the number of distinct configurations that
+// retain idle machines. A server facing arbitrary client configs would
+// otherwise grow pool memory monotonically (each pool holds up to
+// PoolSize machines, and a machine keeps the largest memory image it
+// ever ran); configs beyond the bound simply run unpooled.
+const maxConfigPools = 64
+
+// getMachine pops a pooled machine for cfg or builds a new one. cfg must
+// already be normalized (compiled programs carry a normalized config).
+func (e *Engine) getMachine(cfg arch.Config) *sim.Machine {
+	e.poolMu.Lock()
+	p := e.pools[cfg]
+	if p == nil && len(e.pools) < maxConfigPools {
+		p = &machinePool{}
+		e.pools[cfg] = p
+	}
+	e.poolMu.Unlock()
+	if p == nil {
+		return sim.NewMachine(cfg, nil)
+	}
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return m
+	}
+	p.mu.Unlock()
+	return sim.NewMachine(cfg, nil)
+}
+
+// putMachine returns a machine to its configuration's pool, dropping it
+// when the pool is full. The machine is handed back dirty; RunOn resets
+// it against the next program's memory image before any use.
+func (e *Engine) putMachine(m *sim.Machine) {
+	e.poolMu.Lock()
+	p := e.pools[m.Config()]
+	e.poolMu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < e.opts.PoolSize {
+		p.free = append(p.free, m)
+	}
+	p.mu.Unlock()
+}
+
+// ExecuteInto runs a compiled program on a pooled machine, writing the
+// sink values (in c.Graph.Outputs() order) into out and returning the
+// cycle count. Steady state allocates nothing: the machine, its scratch,
+// and the stats buckets are all reused.
+func (e *Engine) ExecuteInto(c *compiler.Compiled, inputs, out []float64) (cycles int, err error) {
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	m := e.getMachine(c.Prog.Cfg)
+	err = sim.RunOn(m, c, inputs, out)
+	cycles = m.Stats().Cycles
+	e.putMachine(m)
+	if err != nil {
+		return 0, err
+	}
+	e.executions.Add(1)
+	return cycles, nil
+}
+
+// ExecuteCompiled runs a compiled program on a pooled machine and
+// returns a self-contained result (outputs keyed by sink id, deep-copied
+// stats safe to hold after the machine is reused).
+func (e *Engine) ExecuteCompiled(c *compiler.Compiled, inputs []float64) (*sim.Result, error) {
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	outs := c.Graph.Outputs()
+	out := make([]float64, len(outs))
+	m := e.getMachine(c.Prog.Cfg)
+	err := sim.RunOn(m, c, inputs, out)
+	st := m.Stats().Clone()
+	e.putMachine(m)
+	if err != nil {
+		return nil, err
+	}
+	res := &sim.Result{Outputs: make(map[dag.NodeID]float64, len(outs)), Stats: st}
+	for i, sink := range outs {
+		res.Outputs[sink] = out[i]
+	}
+	e.executions.Add(1)
+	return res, nil
+}
+
+// Execute compiles (or cache-hits) and runs in one call — the
+// one-request serving path.
+func (e *Engine) Execute(g *dag.Graph, cfg arch.Config, opts compiler.Options, inputs []float64) (*sim.Result, error) {
+	c, err := e.Compile(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteCompiled(c, inputs)
+}
+
+// ExecuteBatchItems runs the same compiled program over a batch of
+// input vectors on the engine's worker pool, each on its own pooled
+// machine. Results and errors come back in input order, one slot per
+// item (both nil-padded), so servers can itemize failures without
+// re-executing anything.
+func (e *Engine) ExecuteBatchItems(c *compiler.Compiled, batches [][]float64) ([]*sim.Result, []error) {
+	results := make([]*sim.Result, len(batches))
+	errs := make([]error, len(batches))
+	par.ForEach(len(batches), e.opts.Workers, func(i int) {
+		results[i], errs[i] = e.ExecuteCompiled(c, batches[i])
+	})
+	return results, errs
+}
+
+// ExecuteBatch is ExecuteBatchItems with the per-item errors indexed and
+// joined: failed items are nil results, completed items are salvaged.
+func (e *Engine) ExecuteBatch(c *compiler.Compiled, batches [][]float64) ([]*sim.Result, error) {
+	results, errs := e.ExecuteBatchItems(c, batches)
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("engine: batch %d: %w", i, err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// Workers returns the configured worker-pool size, so wrappers layering
+// extra per-item work (e.g. verification) can match the batch fan-out.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Hits:      e.hits,
+		Misses:    e.misses,
+		Evictions: e.evictions,
+		Cached:    len(e.entries),
+	}
+	e.mu.Unlock()
+	s.InFlight = e.inFlight.Load()
+	s.Executions = e.executions.Load()
+	return s
+}

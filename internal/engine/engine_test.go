@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// testGraph builds a small deterministic DAG whose structure varies with
+// seed: a chain of adds/muls over a few inputs.
+func testGraph(seed int64) *dag.Graph {
+	return dag.RandomGraph(dag.RandomConfig{
+		Inputs:   4,
+		Interior: 30,
+		MaxArgs:  2,
+		MulFrac:  0.3,
+		Seed:     seed,
+	})
+}
+
+func testInputs(g *dag.Graph, scale float64) []float64 {
+	in := make([]float64, len(g.Inputs()))
+	for i := range in {
+		in[i] = scale * (0.25 + float64(i)*0.125)
+	}
+	return in
+}
+
+var testCfg = arch.Config{D: 2, B: 8, R: 16}
+
+func TestCompileCacheHitsAndSharing(t *testing.T) {
+	e := New(Options{})
+	g := testGraph(1)
+	c1, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("second Compile of the same graph did not return the cached program")
+	}
+	// A structurally identical but distinct graph object must hit too —
+	// the cache is content-addressed, not pointer-addressed.
+	c3, err := e.Compile(testGraph(1), testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 != c1 {
+		t.Error("structurally identical graph missed the content-addressed cache")
+	}
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+
+	// Different config and different options are different addresses.
+	if _, err := e.Compile(g, arch.Config{D: 2, B: 4, R: 16}, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compile(g, testCfg, compiler.Options{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 3 {
+		t.Errorf("misses = %d after config/options variants, want 3", st.Misses)
+	}
+}
+
+func TestCompileCacheLRUEviction(t *testing.T) {
+	e := New(Options{CacheSize: 2})
+	graphs := []*dag.Graph{testGraph(1), testGraph(2), testGraph(3)}
+	for _, g := range graphs {
+		if _, err := e.Compile(g, testCfg, compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Cached != 2 {
+		t.Errorf("cached = %d, want 2", st.Cached)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// graphs[0] was the LRU victim: recompiling it is a miss; graphs[2]
+	// is still resident: a hit.
+	if _, err := e.Compile(graphs[0], testCfg, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Compile(graphs[2], testCfg, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Misses != 4 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 4 misses / 1 hit after eviction round-trip", st)
+	}
+}
+
+func TestCompileFailureSurfacesAndIsNotCached(t *testing.T) {
+	e := New(Options{})
+	g := testGraph(1)
+	bad := arch.Config{D: 2, B: 8, R: 16, Output: arch.OutOneToOne}
+	if _, err := e.Compile(g, bad, compiler.Options{}); err == nil {
+		t.Fatal("expected compile failure for the one-to-one topology")
+	}
+	if _, err := e.Compile(g, bad, compiler.Options{}); err == nil {
+		t.Fatal("expected compile failure on retry")
+	}
+	st := e.Stats()
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (failures must not be cached)", st.Misses)
+	}
+	if st.Cached != 0 {
+		t.Errorf("cached = %d, want 0 after failures", st.Cached)
+	}
+}
+
+func TestExecuteMatchesReference(t *testing.T) {
+	e := New(Options{})
+	for seed := int64(1); seed <= 3; seed++ {
+		g := testGraph(seed)
+		in := testInputs(g, 1)
+		res, err := e.Execute(g, testCfg, compiler.Options{}, in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := e.Compile(g, testCfg, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := dag.Eval(c.Graph, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sink, got := range res.Outputs {
+			if got != want[sink] {
+				t.Errorf("seed %d: sink %d = %v, reference %v", seed, sink, got, want[sink])
+			}
+		}
+	}
+}
+
+func TestExecuteIntoSteadyStateIsAllocationFree(t *testing.T) {
+	e := New(Options{})
+	g := testGraph(2)
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInputs(g, 1)
+	out := make([]float64, len(c.Graph.Outputs()))
+	// Warm the machine pool and every lazily built cache.
+	if _, err := e.ExecuteInto(c, in, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.ExecuteInto(c, in, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ExecuteInto allocates %v objects/op, want 0", allocs)
+	}
+}
+
+func TestExecuteBatchSalvagesPartialFailure(t *testing.T) {
+	e := New(Options{})
+	g := testGraph(3)
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testInputs(g, 1)
+	batches := [][]float64{good, {1}, testInputs(g, 2)} // middle one has the wrong arity
+	results, err := e.ExecuteBatch(c, batches)
+	if err == nil {
+		t.Fatal("expected a joined error for the malformed batch")
+	}
+	if !strings.Contains(err.Error(), "batch 1") {
+		t.Errorf("error %q does not name the failing batch", err)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("good batches were not salvaged")
+	}
+	if results[1] != nil {
+		t.Error("failed batch has a non-nil result")
+	}
+	want, _ := dag.Eval(c.Graph, testInputs(g, 2))
+	for sink, got := range results[2].Outputs {
+		if got != want[sink] {
+			t.Errorf("salvaged batch: sink %d = %v, want %v", sink, got, want[sink])
+		}
+	}
+	if st := e.Stats(); st.Executions != 2 {
+		t.Errorf("executions = %d, want 2", st.Executions)
+	}
+}
+
+func TestCachedProgramImmuneToCallerMutation(t *testing.T) {
+	e := New(Options{})
+	// Built by hand so the graph is binary: the compiler then carries the
+	// caller's graph itself (no binarization copy), the aliasing-prone
+	// case.
+	g := dag.New("mutate-after-compile")
+	a, b := g.AddInput(), g.AddInput()
+	s := g.AddOp(dag.OpAdd, a, b)
+	g.AddOp(dag.OpMul, s, g.AddConst(3))
+	if !g.IsBinary() {
+		t.Fatal("test premise: graph should be binary")
+	}
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testInputs(g, 1)
+	want, err := dag.Eval(c.Graph, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's graph after compiling must not corrupt the
+	// cached program another request may share.
+	g.AddOp(dag.OpAdd, 0, 1)
+	res, err := e.ExecuteCompiled(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != len(c.Graph.Outputs()) {
+		t.Fatalf("output count changed after caller mutation")
+	}
+	for sink, got := range res.Outputs {
+		if got != want[sink] {
+			t.Errorf("sink %d = %v, want %v after caller mutation", sink, got, want[sink])
+		}
+	}
+	// The mutated graph now has a new fingerprint: compiling it is a miss,
+	// not a stale hit.
+	if _, err := e.Compile(g, testCfg, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (mutated graph is a new address)", st.Misses)
+	}
+}
+
+func TestPooledResultStatsDoNotAliasTheMachine(t *testing.T) {
+	e := New(Options{})
+	g := testGraph(1)
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := e.ExecuteCompiled(c, testInputs(g, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := res1.Stats.Instrs[arch.KindExec]
+	// Reuse the pooled machine; res1's stats must not change underneath.
+	if _, err := e.ExecuteCompiled(c, testInputs(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.Instrs[arch.KindExec] != instrs {
+		t.Error("result stats alias the pooled machine's counters")
+	}
+}

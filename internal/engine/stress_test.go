@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// TestConcurrentSingleFlightAndIsolation is the engine's load test, in
+// the spirit of a k6-style client hammering a service: N goroutines
+// repeatedly submit M distinct graphs against one engine and verify
+// every response. Run under -race (CI does) it checks three contracts at
+// once:
+//
+//   - single-flight: exactly one compilation per (graph, config) even
+//     though all goroutines request every graph concurrently;
+//   - no cross-request bleed: each goroutine uses its own input scale,
+//     and every output must match the reference for those inputs even
+//     though machines are pooled and reset between requests;
+//   - the LRU and stats stay coherent under contention.
+func TestConcurrentSingleFlightAndIsolation(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 20
+		nGraphs = 6
+	)
+	graphs := make([]*dag.Graph, nGraphs)
+	for i := range graphs {
+		graphs[i] = testGraph(int64(100 + i))
+	}
+	// Cache comfortably holds every graph, so each compiles exactly once.
+	e := New(Options{CacheSize: nGraphs})
+
+	// Reference outputs are computed against the binarized graph each
+	// compiled program carries, per (graph, scale) pair.
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scale := float64(w + 1)
+			out := make([]float64, 0, 8)
+			for it := 0; it < iters; it++ {
+				for gi, g := range graphs {
+					c, err := e.Compile(g, testCfg, compiler.Options{})
+					if err != nil {
+						errc <- err
+						return
+					}
+					in := testInputs(g, scale)
+					outs := c.Graph.Outputs()
+					out = out[:0]
+					for range outs {
+						out = append(out, 0)
+					}
+					if _, err := e.ExecuteInto(c, in, out); err != nil {
+						errc <- err
+						return
+					}
+					want, err := dag.Eval(c.Graph, in)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i, sink := range outs {
+						if out[i] != want[sink] {
+							t.Errorf("worker %d graph %d iter %d: sink %d = %v, want %v (cross-request bleed?)",
+								w, gi, it, sink, out[i], want[sink])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if st.Misses != nGraphs {
+		t.Errorf("misses = %d, want exactly %d (one compile per graph)", st.Misses, nGraphs)
+	}
+	wantCalls := int64(workers * iters * nGraphs)
+	if st.Hits+st.Misses != wantCalls {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, wantCalls)
+	}
+	if st.Executions != wantCalls {
+		t.Errorf("executions = %d, want %d", st.Executions, wantCalls)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d after quiescence, want 0", st.InFlight)
+	}
+}
+
+// TestConcurrentChurnAgainstSmallLRU drives more distinct graphs than
+// the cache holds from many goroutines: recompiles are expected (misses
+// > graphs), but every response must still verify and the cache must
+// never exceed its bound by more than the in-flight compilations.
+func TestConcurrentChurnAgainstSmallLRU(t *testing.T) {
+	const (
+		workers = 6
+		iters   = 8
+		nGraphs = 5
+		cache   = 2
+	)
+	graphs := make([]*dag.Graph, nGraphs)
+	for i := range graphs {
+		graphs[i] = testGraph(int64(200 + i))
+	}
+	e := New(Options{CacheSize: cache})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scale := 0.5 + float64(w)
+			for it := 0; it < iters; it++ {
+				// Walk the graphs in a worker-dependent order to maximize
+				// cache churn.
+				for k := 0; k < nGraphs; k++ {
+					g := graphs[(k*(w+1)+it)%nGraphs]
+					in := testInputs(g, scale)
+					res, err := e.Execute(g, testCfg, compiler.Options{}, in)
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					c, err := e.Compile(g, testCfg, compiler.Options{})
+					if err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+					want, _ := dag.Eval(c.Graph, in)
+					for sink, got := range res.Outputs {
+						if got != want[sink] {
+							t.Errorf("worker %d: sink %d = %v, want %v", w, sink, got, want[sink])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Evictions == 0 {
+		t.Error("expected evictions against a cache smaller than the working set")
+	}
+	if st.Cached > cache {
+		t.Errorf("cached = %d exceeds the bound %d at quiescence", st.Cached, cache)
+	}
+}

@@ -16,55 +16,86 @@ type Result struct {
 	Stats   Stats
 }
 
-// Run executes a compiled program with the given DAG input values (in
-// graph-input order) and returns the sink values read back from data
-// memory.
-func Run(c *compiler.Compiled, inputs []float64) (*Result, error) {
-	ins := c.Graph.Inputs()
-	if len(inputs) != len(ins) {
-		return nil, fmt.Errorf("sim: %d inputs provided, graph has %d", len(inputs), len(ins))
+// RunOn executes a compiled program on a caller-provided machine: the
+// machine is Reset to the program's initial memory image, inputs are
+// installed (in graph-input order), and the sink values are written into
+// out in c.Graph.Outputs() order. Once the machine and the graph's
+// derived caches are warm, steady-state reuse allocates nothing — this
+// is the serving engine's hot path.
+func RunOn(m *Machine, c *compiler.Compiled, inputs []float64, out []float64) error {
+	if len(inputs) != len(c.InputWord) {
+		return fmt.Errorf("sim: %d inputs provided, graph has %d", len(inputs), len(c.InputWord))
 	}
-	m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+	outs := c.Graph.Outputs()
+	if len(out) != len(outs) {
+		return fmt.Errorf("sim: output buffer has %d slots, graph has %d sinks", len(out), len(outs))
+	}
+	m.Reset(c.Prog.InitMem)
 	for i, w := range c.InputWord {
 		if w < 0 {
 			continue // input consumed by nothing
 		}
 		if err := m.SetMem(w, inputs[i]); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := m.Run(c.Prog); err != nil {
+		return err
+	}
+	for i, sink := range outs {
+		v, err := m.Mem(c.OutputWord[sink])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+// Run executes a compiled program with the given DAG input values (in
+// graph-input order) on a fresh machine and returns the sink values read
+// back from data memory.
+func Run(c *compiler.Compiled, inputs []float64) (*Result, error) {
+	m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+	outs := c.Graph.Outputs()
+	out := make([]float64, len(outs))
+	if err := RunOn(m, c, inputs, out); err != nil {
 		return nil, err
 	}
-	res := &Result{Outputs: make(map[dag.NodeID]float64, len(c.OutputWord)), Stats: m.Stats()}
-	for sink, w := range c.OutputWord {
-		v, err := m.Mem(w)
-		if err != nil {
-			return nil, err
-		}
-		res.Outputs[sink] = v
+	res := &Result{Outputs: make(map[dag.NodeID]float64, len(outs)), Stats: m.Stats()}
+	for i, sink := range outs {
+		res.Outputs[sink] = out[i]
 	}
 	return res, nil
 }
 
+// CheckOutputs compares an execution result against the reference
+// evaluator. The simulator performs the same float64 operations in the
+// same association order as the binarized graph, so results must match
+// bit-exactly; tol exists only for callers that post-process.
+func CheckOutputs(c *compiler.Compiled, inputs []float64, res *Result, tol float64) error {
+	want, err := dag.Eval(c.Graph, inputs)
+	if err != nil {
+		return err
+	}
+	for sink, got := range res.Outputs {
+		w := want[sink]
+		if got != w && math.Abs(got-w) > tol*(1+math.Abs(w)) {
+			return fmt.Errorf("sim: sink %d = %v, reference %v", sink, got, w)
+		}
+	}
+	return nil
+}
+
 // Verify runs the compiled program and compares every sink against the
-// reference evaluator. The simulator performs the same float64 operations
-// in the same association order as the binarized graph, so results must
-// match bit-exactly; tol exists only for callers that post-process.
+// reference evaluator.
 func Verify(c *compiler.Compiled, inputs []float64, tol float64) (*Result, error) {
 	res, err := Run(c, inputs)
 	if err != nil {
 		return nil, err
 	}
-	want, err := dag.Eval(c.Graph, inputs)
-	if err != nil {
-		return nil, err
-	}
-	for sink, got := range res.Outputs {
-		w := want[sink]
-		if got != w && math.Abs(got-w) > tol*(1+math.Abs(w)) {
-			return res, fmt.Errorf("sim: sink %d = %v, reference %v", sink, got, w)
-		}
+	if err := CheckOutputs(c, inputs, res, tol); err != nil {
+		return res, err
 	}
 	return res, nil
 }

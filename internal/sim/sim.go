@@ -36,6 +36,20 @@ type Stats struct {
 	PeakActive []int // maximum simultaneously valid registers per bank
 }
 
+// Clone deep-copies the stats so they stay valid after the machine that
+// produced them is reset and reused (the serving engine pools machines).
+func (s Stats) Clone() Stats {
+	c := s
+	if s.Instrs != nil {
+		c.Instrs = make(map[arch.Kind]int, len(s.Instrs))
+		for k, v := range s.Instrs {
+			c.Instrs[k] = v
+		}
+	}
+	c.PeakActive = append([]int(nil), s.PeakActive...)
+	return c
+}
+
 // Machine is the architectural state of one DPU-v2 core.
 type Machine struct {
 	cfg   arch.Config
@@ -106,22 +120,61 @@ func NewMachine(cfg arch.Config, initMem []float64) *Machine {
 		m.valid[b] = validBacking[b*cfg.R : (b+1)*cfg.R : (b+1)*cfg.R]
 	}
 	m.freeBits = make([]uint64, cfg.B*m.freeWords)
-	for b := 0; b < cfg.B; b++ {
-		base := b * m.freeWords
-		for a := 0; a < cfg.R; a += 64 {
-			if cfg.R-a >= 64 {
-				m.freeBits[base+a/64] = ^uint64(0)
-			} else {
-				m.freeBits[base+a/64] = 1<<uint(cfg.R-a) - 1
-			}
-		}
-	}
+	m.fillFreeBits()
 	for i := range m.ring {
 		m.ring[i] = make([]landing, 0, cfg.B)
 	}
 	m.stats.Instrs = make(map[arch.Kind]int)
 	m.stats.PeakActive = make([]int, cfg.B)
 	return m
+}
+
+// fillFreeBits marks every register address of every bank free.
+func (m *Machine) fillFreeBits() {
+	for b := 0; b < m.cfg.B; b++ {
+		base := b * m.freeWords
+		for a := 0; a < m.cfg.R; a += 64 {
+			if m.cfg.R-a >= 64 {
+				m.freeBits[base+a/64] = ^uint64(0)
+			} else {
+				m.freeBits[base+a/64] = 1<<uint(m.cfg.R-a) - 1
+			}
+		}
+	}
+}
+
+// Config returns the configuration the machine was built for.
+func (m *Machine) Config() arch.Config { return m.cfg }
+
+// Reset returns the machine to the state NewMachine(cfg, initMem) would
+// produce, reusing every allocation: register values may stay stale (all
+// valid bits are cleared, and every read is gated by them), the landing
+// ring keeps its capacity, and the stats map keeps its buckets. A reset
+// machine is observationally identical to a fresh one — the conformance
+// suite asserts bit-identical outputs and statistics — which is what
+// lets the serving engine pool machines across requests. The only case
+// that allocates is an initMem larger than any image the machine has
+// held before.
+func (m *Machine) Reset(initMem []float64) {
+	for b := 0; b < m.cfg.B; b++ {
+		clear(m.valid[b])
+	}
+	m.fillFreeBits()
+	clear(m.occupied)
+	for i := range m.ring {
+		m.ring[i] = m.ring[i][:0]
+	}
+	m.cycle = 0
+	if cap(m.mem) < len(initMem) {
+		m.mem = make([]float64, len(initMem))
+	} else {
+		m.mem = m.mem[:len(initMem)]
+	}
+	copy(m.mem, initMem)
+	instrs, peak := m.stats.Instrs, m.stats.PeakActive
+	clear(instrs)
+	clear(peak)
+	m.stats = Stats{Instrs: instrs, PeakActive: peak}
 }
 
 // Mem returns the data-memory word at addr (growing view: unwritten words
