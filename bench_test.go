@@ -8,8 +8,10 @@ package dpuv2
 // CPU baseline.
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,6 +23,7 @@ import (
 	"dpuv2/internal/dse"
 	"dpuv2/internal/engine"
 	"dpuv2/internal/pc"
+	"dpuv2/internal/sched"
 	"dpuv2/internal/sim"
 	"dpuv2/internal/sptrsv"
 )
@@ -228,6 +231,145 @@ func BenchmarkEngineBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(batchSize, "execs/op")
+}
+
+// serveConcurrentWorkload is the serving-path benchmark workload: a
+// mid-size random DAG small enough that per-request overhead (cache
+// touches, machine churn, result marshalling) is a visible fraction of
+// the simulated execution — the regime micro-batching targets.
+func serveConcurrentWorkload() (*dag.Graph, []float64, arch.Config) {
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 4, Interior: 18, MaxArgs: 2, MulFrac: 0.3, Seed: 11})
+	in := make([]float64, len(g.Inputs()))
+	for i := range in {
+		in[i] = 0.5 + float64(i)*0.125
+	}
+	return g, in, arch.Config{D: 2, B: 8, R: 16}
+}
+
+// runClients drives op from nc concurrent closed-loop clients, splitting
+// b.N iterations among them.
+func runClients(b *testing.B, nc int, op func() error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for c := 0; c < nc; c++ {
+		n := b.N / nc
+		if c < b.N%nc {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := op(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServeConcurrent is the PR 3 acceptance benchmark: the same
+// serving workload driven by concurrent closed-loop clients through PR
+// 2's per-request path (each client does Compile-hit + Execute on its
+// own) versus the micro-batching scheduler (clients coalesce into
+// ExecuteBatchInto batches). Batched must be strictly faster at ≥8
+// clients: it pays one compile-cache touch and a couple of machine
+// leases per batch instead of per request, and no per-item result maps
+// or stats clones. Short mode runs the 8-client pair only.
+func BenchmarkServeConcurrent(b *testing.B) {
+	clientCounts := []int{8, 32}
+	if testing.Short() {
+		clientCounts = []int{8}
+	}
+	g, in, cfg := serveConcurrentWorkload()
+	for _, nc := range clientCounts {
+		b.Run(fmt.Sprintf("unbatched/clients=%d", nc), func(b *testing.B) {
+			eng := engine.New(engine.Options{})
+			if _, err := eng.Execute(g, cfg, compiler.Options{}, in); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runClients(b, nc, func() error {
+				_, err := eng.Execute(g, cfg, compiler.Options{}, in)
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("batched/clients=%d", nc), func(b *testing.B) {
+			eng := engine.New(engine.Options{})
+			sch := sched.New(eng, sched.Options{MaxBatch: nc, Linger: 200 * time.Microsecond})
+			defer sch.Close()
+			if _, err := sch.Submit(g, cfg, compiler.Options{}, in); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runClients(b, nc, func() error {
+				_, err := sch.Submit(g, cfg, compiler.Options{}, in)
+				return err
+			})
+			b.StopTimer()
+			st := sch.Stats()
+			if st.BatchSize.Count > 0 {
+				b.ReportMetric(st.BatchSize.Mean, "items/batch")
+			}
+		})
+	}
+}
+
+// TestServeBatchHotPathAllocZero is the allocation ceiling on the
+// scheduler's execution hot path: a warmed serial ExecuteBatchInto (the
+// exact call the scheduler's batch runner makes) must not allocate at
+// all, whatever the batch size.
+func TestServeBatchHotPathAllocZero(t *testing.T) {
+	g, in, cfg := serveConcurrentWorkload()
+	eng := engine.New(engine.Options{Workers: 1})
+	c, err := eng.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	batches := make([][]float64, n)
+	outs := make([][]float64, n)
+	cycles := make([]int, n)
+	errs := make([]error, n)
+	for i := range batches {
+		batches[i] = in
+		outs[i] = make([]float64, len(c.Graph.Outputs()))
+	}
+	eng.ExecuteBatchInto(c, batches, outs, cycles, errs) // warm pool
+	allocs := testing.AllocsPerRun(10, func() {
+		eng.ExecuteBatchInto(c, batches, outs, cycles, errs)
+	})
+	if allocs > 0 {
+		t.Errorf("scheduler hot path allocates %v objects per %d-item batch, want 0", allocs, n)
+	}
+}
+
+// TestSchedulerSubmitAllocCeiling bounds the full coalescing round trip
+// (admission, batch bookkeeping, dispatch goroutine, delivery): the
+// ceiling is deliberately generous — it exists to catch a regression
+// that reintroduces per-item result maps or stats clones on the batched
+// path, which would blow well past it.
+func TestSchedulerSubmitAllocCeiling(t *testing.T) {
+	g, in, cfg := serveConcurrentWorkload()
+	eng := engine.New(engine.Options{Workers: 1})
+	sch := sched.New(eng, sched.Options{Linger: -1}) // dispatch immediately: serial round trip
+	defer sch.Close()
+	if _, err := sch.Submit(g, cfg, compiler.Options{}, in); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sch.Submit(g, cfg, compiler.Options{}, in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 40
+	if allocs > ceiling {
+		t.Errorf("scheduler round trip allocates %v objects per submission, ceiling %d", allocs, ceiling)
+	}
 }
 
 // sweepBenchInputs builds the workload suite and grid shared by the

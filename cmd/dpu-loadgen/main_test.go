@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSelfSmoke is the in-process version of CI's loadgen smoke
+// step: a short self-targeted run must complete requests, record
+// consistent counters, and produce a JSON-serializable summary.
+func TestLoadgenSelfSmoke(t *testing.T) {
+	dur := 400 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	s, err := run(config{
+		self:        true,
+		duration:    dur,
+		concurrency: 4,
+		graphs:      3,
+		inputsPer:   2,
+		seed:        1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests == 0 || s.Completed == 0 {
+		t.Fatalf("no load generated: %+v", s)
+	}
+	if s.TransportErrors != 0 || len(s.HTTPErrors) != 0 {
+		t.Errorf("errors against a healthy in-process server: %+v", s)
+	}
+	// Every vector of every 200 is accounted for: either completed or an
+	// itemized per-vector error (e.g. overflow on mul-heavy graphs with
+	// Gaussian inputs — a loadgen feature, it exercises the error path).
+	if s.Completed+s.FailedVectors != s.Requests*2 {
+		t.Errorf("completed %d + failed %d != requests×2 = %d", s.Completed, s.FailedVectors, s.Requests*2)
+	}
+	if s.Latency.Count != uint64(s.Requests) {
+		t.Errorf("latency count %d != requests %d", s.Latency.Count, s.Requests)
+	}
+	if s.Latency.P50 <= 0 || s.Latency.P50 > s.Latency.P99 {
+		t.Errorf("latency quantiles inconsistent: %+v", s.Latency)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("summary not JSON-serializable: %v", err)
+	}
+}
+
+// TestLoadgenPacing checks that a -qps target caps the offered load:
+// the achieved rate must not meaningfully exceed the schedule.
+func TestLoadgenPacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pacing needs wall time")
+	}
+	s, err := run(config{
+		self:        true,
+		duration:    500 * time.Millisecond,
+		concurrency: 4,
+		qps:         40,
+		graphs:      2,
+		inputsPer:   1,
+		seed:        2,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests == 0 {
+		t.Fatal("no load generated")
+	}
+	// 40 qps × 0.5 s = 20 scheduled slots; allow slack for rounding.
+	if s.Requests > 25 {
+		t.Errorf("pacing exceeded: %d requests for a 20-slot schedule", s.Requests)
+	}
+}
+
+func TestBuildPopulationDeterministic(t *testing.T) {
+	a := buildPopulation(4, 7)
+	b := buildPopulation(4, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("population not deterministic at %d", i)
+		}
+	}
+	if a[0].text == buildPopulation(4, 8)[0].text {
+		t.Error("different seeds produced identical graphs")
+	}
+	for i, tgt := range a {
+		if tgt.nIn == 0 || tgt.text == "" {
+			t.Errorf("target %d malformed: %+v", i, tgt)
+		}
+	}
+}

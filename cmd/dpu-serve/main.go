@@ -1,10 +1,11 @@
 // Command dpu-serve exposes the compile-once/execute-many serving engine
 // over HTTP — the deployment shape of the ROADMAP's "heavy traffic"
 // north star: many clients submit the same few graphs with different
-// inputs, the engine compiles each graph once and executes requests on
-// pooled simulator machines.
+// inputs, the engine compiles each graph once, and the micro-batching
+// scheduler (internal/sched) coalesces concurrent executions of the same
+// graph into shared batches on pooled simulator machines.
 //
-// API:
+// API (see internal/serve for the handler):
 //
 //	POST /execute
 //	    {"graph": "<node-list text>",          // dag.Read format
@@ -12,169 +13,84 @@
 //	     "options": {"Seed":1},                // compiler options, optional
 //	     "inputs": [[...], [...], ...]}        // one vector per execution
 //	  → {"fingerprint": "...", "sinks": [...], "compile": {...},
+//	     "batched": true,
 //	     "results": [{"outputs":[...], "cycles": n} | {"error": "..."}]}
 //
-//	GET /stats    → engine counters (hits, misses, evictions, ...)
-//	GET /healthz  → 200 ok
+//	GET /stats    → engine + scheduler + HTTP counters (queue depth,
+//	                batch-size histogram, p50/p95/p99 latency)
+//	GET /healthz  → 200 ok (503 while draining)
+//
+// Batching is on by default; -unbatched restores PR 2's per-request
+// path for A/B comparison. SIGINT/SIGTERM drain gracefully: in-flight
+// requests complete, new ones are answered 503 until the listener
+// closes.
 //
 // Example:
 //
-//	dpu-serve -addr :8080 -cache 256 &
+//	dpu-serve -addr :8080 -cache 256 -max-batch 32 -linger 500us &
 //	curl -s localhost:8080/execute -d '{
 //	  "graph": "input\ninput\nadd 0 1\nconst 3\nmul 2 3",
 //	  "inputs": [[2,5],[1,1]]}'
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
-	"strings"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"dpuv2/internal/arch"
-	"dpuv2/internal/compiler"
-	"dpuv2/internal/dag"
 	"dpuv2/internal/engine"
+	"dpuv2/internal/sched"
+	"dpuv2/internal/serve"
 )
-
-type executeRequest struct {
-	Graph   string           `json:"graph"`
-	Config  arch.Config      `json:"config"`
-	Options compiler.Options `json:"options"`
-	Inputs  [][]float64      `json:"inputs"`
-}
-
-type executeResult struct {
-	Outputs []float64 `json:"outputs,omitempty"`
-	Cycles  int       `json:"cycles,omitempty"`
-	Error   string    `json:"error,omitempty"`
-}
-
-type executeResponse struct {
-	Fingerprint string          `json:"fingerprint"`
-	Config      string          `json:"config"`
-	Sinks       []int           `json:"sinks"`
-	Compile     compiler.Stats  `json:"compile"`
-	Results     []executeResult `json:"results"`
-}
-
-// maxRequestBytes bounds one /execute body; graphs and input batches
-// beyond it belong in multiple requests.
-const maxRequestBytes = 64 << 20
-
-// checkConfigBounds rejects client configs whose machine state would be
-// unreasonably large before anything is allocated. arch.Config.Validate
-// checks constructibility, not size: B·R float64 registers (plus valid
-// bits) and DataMemWords words are allocated per pooled machine, so a
-// hostile {R: 1e9} request would otherwise OOM the server. The caps
-// comfortably cover every configuration of the paper (DPU-v2 (L) is
-// B=64, R=256, 4M-word memory).
-func checkConfigBounds(cfg arch.Config) error {
-	cfg = cfg.Normalize()
-	const (
-		maxB        = 1 << 10
-		maxR        = 1 << 12
-		maxMemWords = 1 << 24 // 128 MB of float64
-	)
-	if cfg.B > maxB || cfg.R > maxR {
-		return fmt.Errorf("register file %dx%d exceeds the serving limit %dx%d", cfg.B, cfg.R, maxB, maxR)
-	}
-	if cfg.DataMemWords > maxMemWords {
-		return fmt.Errorf("data memory %d words exceeds the serving limit %d", cfg.DataMemWords, maxMemWords)
-	}
-	return nil
-}
-
-// newServer builds the HTTP handler; split from main so tests can drive
-// it through httptest.
-func newServer(eng *engine.Engine) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(eng.Stats())
-	})
-	mux.HandleFunc("/execute", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var req executeRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
-			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		g, err := dag.Read(strings.NewReader(req.Graph), "request")
-		if err != nil {
-			http.Error(w, "bad graph: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		cfg := req.Config
-		if cfg == (arch.Config{}) {
-			// Only a fully omitted config defaults to the paper's min-EDP
-			// point; a partial config is the client's mistake and fails
-			// validation with a precise message instead of being silently
-			// replaced.
-			cfg = arch.MinEDP()
-		}
-		if err := checkConfigBounds(cfg); err != nil {
-			http.Error(w, "bad config: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		c, err := eng.Compile(g, cfg, req.Options)
-		if err != nil {
-			http.Error(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		resp := executeResponse{
-			Fingerprint: g.Fingerprint().String(),
-			Config:      c.Prog.Cfg.String(),
-			Compile:     c.Stats,
-			Results:     make([]executeResult, len(req.Inputs)),
-		}
-		// Report sinks as ids of the graph the client submitted; for k-ary
-		// graphs the compiled (binarized) graph has different ids, and
-		// Remap translates.
-		origOuts := g.Outputs()
-		sinks := make([]dag.NodeID, len(origOuts))
-		for j, s := range origOuts {
-			resp.Sinks = append(resp.Sinks, int(s))
-			sinks[j] = c.Remap[s]
-		}
-		results, errs := eng.ExecuteBatchItems(c, req.Inputs)
-		for i, res := range results {
-			if res == nil {
-				msg := "execution failed"
-				if errs[i] != nil {
-					msg = errs[i].Error()
-				}
-				resp.Results[i] = executeResult{Error: msg}
-				continue
-			}
-			vals := make([]float64, len(sinks))
-			for j, s := range sinks {
-				vals[j] = res.Outputs[s]
-			}
-			resp.Results[i] = executeResult{Outputs: vals, Cycles: res.Stats.Cycles}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
-	return mux
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 128, "compile-cache capacity (programs)")
 	workers := flag.Int("workers", 0, "batch worker pool size (0: one per CPU)")
 	pool := flag.Int("pool", 0, "idle machines retained per config (0: 2 per CPU)")
+	maxBatch := flag.Int("max-batch", 32, "dispatch a batch at this many coalesced executions")
+	linger := flag.Duration("linger", 500*time.Microsecond, "max wait for a batch to fill (negative: no coalescing)")
+	queueDepth := flag.Int("queue-depth", 4096, "admitted-but-unfinished executions before 429s")
+	maxInputs := flag.Int("max-inputs", 1024, "input vectors allowed per request before 413s")
+	unbatched := flag.Bool("unbatched", false, "bypass the batching scheduler (PR 2 behavior)")
 	flag.Parse()
 
 	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool})
-	log.Printf("dpu-serve listening on %s (cache=%d)", *addr, *cache)
-	log.Fatal(http.ListenAndServe(*addr, newServer(eng)))
+	srv := serve.New(eng, serve.Options{
+		Sched: sched.Options{
+			MaxBatch:   *maxBatch,
+			Linger:     *linger,
+			QueueDepth: *queueDepth,
+		},
+		MaxInputsPerRequest: *maxInputs,
+		Unbatched:           *unbatched,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("dpu-serve: %v, draining", sig)
+		srv.Drain() // in-flight requests finish; new ones get 503
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("dpu-serve: shutdown: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("dpu-serve listening on %s (cache=%d max-batch=%d linger=%v queue-depth=%d batched=%v)",
+		*addr, *cache, *maxBatch, *linger, *queueDepth, !*unbatched)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
 }

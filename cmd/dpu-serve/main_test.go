@@ -1,167 +1,53 @@
 package main
 
+// The HTTP handler, its batching scheduler and the full request-path
+// test matrix live in internal/serve (so cmd/dpu-loadgen can drive the
+// server in-process); this file only smoke-tests the wiring the binary
+// performs: default flag values produce a server that executes a request
+// end to end through the batched path.
+
 import (
 	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"dpuv2/internal/engine"
+	"dpuv2/internal/sched"
+	"dpuv2/internal/serve"
 )
 
-func postExecute(t *testing.T, srv *httptest.Server, req executeRequest) (*http.Response, executeResponse) {
-	t.Helper()
-	body, err := json.Marshal(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(srv.URL+"/execute", "application/json", bytes.NewReader(body))
+func TestDefaultWiringServesBatched(t *testing.T) {
+	eng := engine.New(engine.Options{CacheSize: 128})
+	srv := serve.New(eng, serve.Options{
+		Sched: sched.Options{MaxBatch: 32, Linger: 500 * time.Microsecond, QueueDepth: 4096},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	body, _ := json.Marshal(serve.ExecuteRequest{
+		Graph:  "input\ninput\nadd 0 1\nconst 3\nmul 2 3\n",
+		Inputs: [][]float64{{2, 5}},
+	})
+	resp, err := http.Post(ts.URL+"/execute", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out executeResponse
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return resp, out
-}
-
-func TestServeExecuteEndToEnd(t *testing.T) {
-	eng := engine.New(engine.Options{})
-	srv := httptest.NewServer(newServer(eng))
-	defer srv.Close()
-
-	// (x0 + x1) * 3 over two input vectors, plus one malformed vector.
-	req := executeRequest{
-		Graph:  "input\ninput\nadd 0 1\nconst 3\nmul 2 3\n",
-		Inputs: [][]float64{{2, 5}, {1, 1}, {7}},
-	}
-	resp, out := postExecute(t, srv, req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	if out.Fingerprint == "" {
-		t.Error("missing fingerprint")
-	}
-	if len(out.Results) != 3 {
-		t.Fatalf("got %d results, want 3", len(out.Results))
-	}
-	for i, want := range []float64{21, 6} {
-		r := out.Results[i]
-		if r.Error != "" {
-			t.Fatalf("result %d errored: %s", i, r.Error)
-		}
-		if len(r.Outputs) != 1 || r.Outputs[0] != want {
-			t.Errorf("result %d = %v, want [%v]", i, r.Outputs, want)
-		}
-		if r.Cycles <= 0 {
-			t.Errorf("result %d missing cycle count", i)
-		}
-	}
-	if out.Results[2].Error == "" {
-		t.Error("malformed input vector did not surface an error")
-	}
-
-	// Same graph again: the engine must report a cache hit via /stats.
-	if resp, _ := postExecute(t, srv, req); resp.StatusCode != http.StatusOK {
-		t.Fatalf("second request status = %d", resp.StatusCode)
-	}
-	statsResp, err := http.Get(srv.URL + "/stats")
-	if err != nil {
+	var out serve.ExecuteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	defer statsResp.Body.Close()
-	var st engine.Stats
-	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
+	if !out.Batched {
+		t.Error("default wiring is not batched")
 	}
-	if st.Misses != 1 || st.Hits < 1 {
-		t.Errorf("stats = %+v, want one miss and at least one hit", st)
-	}
-}
-
-// TestServeKAryGraphSinkIDs pins the sink-id contract: the response
-// reports sinks as ids of the graph the client submitted, even when
-// binarization renumbers nodes internally.
-func TestServeKAryGraphSinkIDs(t *testing.T) {
-	srv := httptest.NewServer(newServer(engine.New(engine.Options{})))
-	defer srv.Close()
-
-	// 3-ary add: node 3 in the client's graph, renumbered by Binarize.
-	req := executeRequest{
-		Graph:  "input\ninput\ninput\nadd 0 1 2\n",
-		Inputs: [][]float64{{1, 2, 4}},
-	}
-	resp, out := postExecute(t, srv, req)
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status = %d", resp.StatusCode)
-	}
-	if len(out.Sinks) != 1 || out.Sinks[0] != 3 {
-		t.Errorf("sinks = %v, want [3] (ids of the submitted graph)", out.Sinks)
-	}
-	if len(out.Results) != 1 || out.Results[0].Error != "" {
-		t.Fatalf("results = %+v", out.Results)
-	}
-	if got := out.Results[0].Outputs; len(got) != 1 || got[0] != 7 {
-		t.Errorf("outputs = %v, want [7]", got)
-	}
-}
-
-func TestServeBadRequests(t *testing.T) {
-	srv := httptest.NewServer(newServer(engine.New(engine.Options{})))
-	defer srv.Close()
-
-	resp, err := http.Post(srv.URL+"/execute", "application/json", bytes.NewReader([]byte("{not json")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
-	}
-
-	if resp, _ := postExecute(t, srv, executeRequest{Graph: "bogus op\n"}); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed graph: status = %d, want 400", resp.StatusCode)
-	}
-
-	// A graph that fails compilation (unknown topology value).
-	badCfg := executeRequest{Graph: "input\ninput\nadd 0 1\n"}
-	badCfg.Config.D = 5
-	badCfg.Config.B = 2 // B < 2^D
-	badCfg.Config.R = 8
-	if resp, _ := postExecute(t, srv, badCfg); resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("bad config: status = %d, want 422", resp.StatusCode)
-	}
-
-	// A constructible but absurdly sized config must be rejected before
-	// any machine is allocated.
-	huge := executeRequest{Graph: "input\ninput\nadd 0 1\n", Inputs: [][]float64{{1, 2}}}
-	huge.Config.D = 1
-	huge.Config.B = 2
-	huge.Config.R = 1 << 30
-	if resp, _ := postExecute(t, srv, huge); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("oversized config: status = %d, want 400", resp.StatusCode)
-	}
-
-	getResp, err := http.Get(srv.URL + "/execute")
-	if err != nil {
-		t.Fatal(err)
-	}
-	getResp.Body.Close()
-	if getResp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /execute: status = %d, want 405", getResp.StatusCode)
-	}
-
-	hResp, err := http.Get(srv.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	hResp.Body.Close()
-	if hResp.StatusCode != http.StatusOK {
-		t.Errorf("healthz: status = %d", hResp.StatusCode)
+	if len(out.Results) != 1 || out.Results[0].Outputs[0] != 21 {
+		t.Errorf("results = %+v, want [[21]]", out.Results)
 	}
 }

@@ -353,6 +353,74 @@ func (e *Engine) ExecuteBatchItems(c *compiler.Compiled, batches [][]float64) ([
 	return results, errs
 }
 
+// ExecuteBatchInto is the scheduler's hot path: it runs one compiled
+// program over a batch of input vectors, writing the sink values of item
+// i (in c.Graph.Outputs() order) into outs[i] and its error into
+// errs[i]; cycles, when non-nil, receives each item's cycle count. The
+// batch is split into contiguous chunks, one per worker, and each worker
+// leases a single pooled machine for its whole chunk — pool traffic and
+// compile-cache traffic are per-batch, not per-item, which is what makes
+// coalesced serving cheaper than per-request Execute calls. With one
+// worker (or a one-item batch) the whole call runs inline on the
+// caller's goroutine and allocates nothing in steady state.
+func (e *Engine) ExecuteBatchInto(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error) {
+	n := len(batches)
+	if n == 0 {
+		return
+	}
+	workers := e.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	e.inFlight.Add(int64(n))
+	if workers <= 1 {
+		// Closure-free serial path: the steady state allocates nothing.
+		e.runChunk(c, batches, outs, cycles, errs, 0, n)
+	} else {
+		par.ForEach(workers, workers, func(w int) {
+			e.runChunk(c, batches, outs, cycles, errs, n*w/workers, n*(w+1)/workers)
+		})
+	}
+	e.inFlight.Add(int64(-n))
+}
+
+// runChunk executes items [lo,hi) of a batch on one leased machine.
+func (e *Engine) runChunk(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error, lo, hi int) {
+	m := e.getMachine(c.Prog.Cfg)
+	for i := lo; i < hi; i++ {
+		err := sim.RunOn(m, c, batches[i], outs[i])
+		errs[i] = err
+		if cycles != nil {
+			cycles[i] = m.Stats().Cycles
+		}
+		if err == nil {
+			e.executions.Add(1)
+		}
+	}
+	e.putMachine(m)
+}
+
+// AsyncResult carries one ExecuteAsync completion.
+type AsyncResult struct {
+	Result *sim.Result
+	Err    error
+}
+
+// ExecuteAsync is Execute without the wait: it fires the
+// compile-or-hit/execute pipeline on its own goroutine and returns a
+// 1-buffered channel that receives the completion exactly once, so
+// callers interleaving submission with other work (load generators,
+// fan-out clients) never block and never leak the goroutine by
+// abandoning the channel.
+func (e *Engine) ExecuteAsync(g *dag.Graph, cfg arch.Config, opts compiler.Options, inputs []float64) <-chan AsyncResult {
+	ch := make(chan AsyncResult, 1)
+	go func() {
+		res, err := e.Execute(g, cfg, opts, inputs)
+		ch <- AsyncResult{Result: res, Err: err}
+	}()
+	return ch
+}
+
 // ExecuteBatch is ExecuteBatchItems with the per-item errors indexed and
 // joined: failed items are nil results, completed items are salvaged.
 func (e *Engine) ExecuteBatch(c *compiler.Compiled, batches [][]float64) ([]*sim.Result, error) {

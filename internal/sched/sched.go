@@ -1,0 +1,456 @@
+// Package sched is the dynamic micro-batching layer between concurrent
+// callers and the serving engine. N callers submitting the same graph
+// (same content address: fingerprint + normalized config + compiler
+// options) within a linger window are coalesced into one batched engine
+// invocation, which compiles once and executes every item on a small
+// number of leased machines — the engine's fastest path — instead of N
+// independent compile-cache and machine-pool round trips.
+//
+// Policy, in order of precedence:
+//
+//   - a batch is dispatched the moment it reaches MaxBatch items;
+//   - otherwise a timer dispatches it Linger after its first item
+//     arrived (bounded latency cost for coalescing);
+//   - admission control bounds memory: a Submit that would exceed
+//     QueueDepth admitted-but-unfinished items is rejected immediately
+//     with ErrQueueFull — callers shed load instead of the server
+//     growing an unbounded queue;
+//   - Close drains gracefully: open batches are dispatched at once,
+//     in-flight work completes, new submissions fail with ErrClosed.
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/metrics"
+)
+
+// ErrQueueFull rejects a submission that would exceed QueueDepth
+// admitted-but-unfinished requests. Servers map it to 429.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrClosed rejects submissions after Close. Servers map it to 503.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// CompileError marks a batch failure caused by compilation (as opposed
+// to a per-item execution error), so servers can answer 422 instead of
+// itemizing. It wraps the compiler's error.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// Backend is what the scheduler needs from the serving engine.
+// *engine.Engine satisfies it; tests substitute fakes to probe policy
+// without real compilation.
+type Backend interface {
+	Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (*compiler.Compiled, error)
+	ExecuteBatchInto(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error)
+}
+
+// Options configure a Scheduler; the zero value is a production-ready
+// default.
+type Options struct {
+	// MaxBatch dispatches a batch when it reaches this many items.
+	// Default 32.
+	MaxBatch int
+	// Linger bounds how long the first item of a batch waits for
+	// company. 0 means the 500µs default; negative disables coalescing
+	// (every submission dispatches immediately).
+	Linger time.Duration
+	// QueueDepth bounds admitted-but-unfinished items; submissions
+	// beyond it are rejected with ErrQueueFull. Default 4096.
+	QueueDepth int
+	// Clock is the time source; nil means SystemClock. Tests inject a
+	// FakeClock to drive the linger policy deterministically.
+	Clock Clock
+}
+
+func (o Options) normalize() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.Linger == 0 {
+		o.Linger = 500 * time.Microsecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4096
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock
+	}
+	return o
+}
+
+// Result is one completed submission: the sink values in the order of
+// the submitted graph's Outputs() (the scheduler translates from the
+// compiled, binarized graph's numbering), the simulated cycle count, and
+// the cached compiled program the batch ran (shared across the batch),
+// so callers needing compile metadata don't re-touch the engine's cache.
+type Result struct {
+	Outputs  []float64
+	Cycles   int
+	Compiled *compiler.Compiled
+}
+
+// Stats is a point-in-time snapshot of scheduler activity.
+type Stats struct {
+	// Submitted counts admitted requests; Rejected counts requests
+	// turned away by admission control or ErrClosed.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	// Completed counts requests finished successfully, Failed those
+	// finished with a per-item or compile error.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Batches counts dispatched batches, split by trigger.
+	Batches       int64 `json:"batches"`
+	SizeFlushes   int64 `json:"size_flushes"`
+	LingerFlushes int64 `json:"linger_flushes"`
+	CloseFlushes  int64 `json:"close_flushes"`
+	// QueueDepth is the current number of admitted-but-unfinished
+	// items; QueueLimit is the admission bound.
+	QueueDepth int `json:"queue_depth"`
+	QueueLimit int `json:"queue_limit"`
+	// BatchSize summarizes dispatched batch sizes (items).
+	BatchSize metrics.Summary `json:"batch_size"`
+	// Latency summarizes per-request submit→completion time (ns).
+	Latency metrics.Summary `json:"latency_ns"`
+}
+
+// key is the coalescing address: requests batch together iff their
+// compiled program would be the same cache entry in the engine.
+type key struct {
+	fp   dag.Fingerprint
+	cfg  arch.Config
+	opts compiler.Options
+}
+
+// request is one submission's slot in a batch.
+type request struct {
+	inputs []float64
+	enq    time.Time
+}
+
+// batch accumulates requests for one key until dispatch; after run it
+// carries every item's outcome, and done (closed once) broadcasts
+// completion to all waiters at the cost of a single wakeup operation.
+type batch struct {
+	key   key
+	g     *dag.Graph // representative graph (content-equal for all items)
+	reqs  []request
+	timer Timer
+
+	done     chan struct{}
+	c        *compiler.Compiled
+	outs     [][]float64
+	cycles   []int
+	errs     []error
+	batchErr error // compile failure (*CompileError): fails every item
+}
+
+// Scheduler coalesces submissions into batched backend executions. It is
+// safe for concurrent use by any number of goroutines.
+type Scheduler struct {
+	backend Backend
+	opts    Options
+	clock   Clock
+
+	mu     sync.Mutex
+	open   map[key]*batch // batches still accepting items
+	queued int            // admitted, not yet completed
+	closed bool
+	drain  sync.WaitGroup // dispatched batches not yet delivered
+
+	submitted, rejected  atomic.Int64
+	completed, failed    atomic.Int64
+	batches, sizeFlushes atomic.Int64
+	lingerFlushes        atomic.Int64
+	closeFlushes         atomic.Int64
+	batchSize            metrics.Histogram
+	latency              metrics.Histogram
+}
+
+// New returns a scheduler dispatching onto backend.
+func New(backend Backend, opts Options) *Scheduler {
+	opts = opts.normalize()
+	return &Scheduler{
+		backend: backend,
+		opts:    opts,
+		clock:   opts.Clock,
+		open:    make(map[key]*batch),
+	}
+}
+
+// Submit queues one execution of g (content-addressed, so structurally
+// identical graphs coalesce) and blocks until its batch completes. The
+// returned outputs are in g.Outputs() order and owned by the caller.
+//
+// The submission that fills a batch becomes its leader and executes the
+// whole batch on its own goroutine (no runner-goroutine handoff);
+// everyone else parks on the batch's broadcast channel.
+func (s *Scheduler) Submit(g *dag.Graph, cfg arch.Config, copts compiler.Options, inputs []float64) (Result, error) {
+	k := key{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: copts.Normalized()}
+	s.mu.Lock()
+	b, idx, lead, err := s.enqueueLocked(g, k, inputs)
+	s.mu.Unlock()
+	if err != nil {
+		return Result{}, err
+	}
+	if lead {
+		s.run(b)
+	} else {
+		<-b.done
+	}
+	if b.batchErr != nil {
+		return Result{}, b.batchErr
+	}
+	if b.errs[idx] != nil {
+		return Result{}, b.errs[idx]
+	}
+	return Result{Outputs: b.outs[idx], Cycles: b.cycles[idx], Compiled: b.c}, nil
+}
+
+// SubmitMany queues a whole request's input vectors in one admission
+// pass (so they coalesce with each other as well as with concurrent
+// callers) and waits for all of them. Results and errors are per item,
+// in input order; items past an admission failure are still attempted,
+// each slot reporting its own outcome.
+func (s *Scheduler) SubmitMany(g *dag.Graph, cfg arch.Config, copts compiler.Options, batches [][]float64) ([]Result, []error) {
+	k := key{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: copts.Normalized()}
+	type slot struct {
+		b   *batch
+		idx int
+	}
+	slots := make([]slot, len(batches))
+	errs := make([]error, len(batches))
+	var lead []*batch
+	s.mu.Lock()
+	for i, in := range batches {
+		b, idx, isLead, err := s.enqueueLocked(g, k, in)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		slots[i] = slot{b, idx}
+		if isLead {
+			lead = append(lead, b)
+		}
+	}
+	s.mu.Unlock()
+	// Run the batches this call dispatched, then wait for the rest.
+	for _, b := range lead {
+		s.run(b)
+	}
+	results := make([]Result, len(batches))
+	for i, sl := range slots {
+		if sl.b == nil {
+			continue
+		}
+		<-sl.b.done
+		switch {
+		case sl.b.batchErr != nil:
+			errs[i] = sl.b.batchErr
+		case sl.b.errs[sl.idx] != nil:
+			errs[i] = sl.b.errs[sl.idx]
+		default:
+			results[i] = Result{Outputs: sl.b.outs[sl.idx], Cycles: sl.b.cycles[sl.idx], Compiled: sl.b.c}
+		}
+	}
+	return results, errs
+}
+
+// enqueueLocked admits one input vector into the open batch for k,
+// creating the batch (and arming its linger timer) if none is open. It
+// returns the batch, the caller's item index, and whether the caller
+// became the batch's leader (dispatch was triggered by size or by the
+// no-linger policy, and the caller must run the batch after releasing
+// s.mu). Caller holds s.mu.
+func (s *Scheduler) enqueueLocked(g *dag.Graph, k key, inputs []float64) (*batch, int, bool, error) {
+	if s.closed {
+		s.rejected.Add(1)
+		return nil, 0, false, ErrClosed
+	}
+	if s.queued >= s.opts.QueueDepth {
+		s.rejected.Add(1)
+		return nil, 0, false, ErrQueueFull
+	}
+	s.queued++
+	s.submitted.Add(1)
+	b := s.open[k]
+	if b == nil {
+		b = &batch{key: k, g: g, done: make(chan struct{})}
+		s.open[k] = b
+		if s.opts.Linger > 0 && s.opts.MaxBatch > 1 {
+			b.timer = s.clock.AfterFunc(s.opts.Linger, func() { s.lingerFire(b) })
+		}
+	}
+	idx := len(b.reqs)
+	b.reqs = append(b.reqs, request{inputs: inputs, enq: s.clock.Now()})
+	if len(b.reqs) >= s.opts.MaxBatch || s.opts.Linger < 0 {
+		s.detachLocked(b, &s.sizeFlushes)
+		return b, idx, true, nil
+	}
+	return b, idx, false, nil
+}
+
+// lingerFire is the timer callback: dispatch b if it is still open (a
+// size flush or Close may have beaten the timer). The timer goroutine
+// runs the batch itself.
+func (s *Scheduler) lingerFire(b *batch) {
+	s.mu.Lock()
+	fire := s.open[b.key] == b
+	if fire {
+		s.detachLocked(b, &s.lingerFlushes)
+	}
+	s.mu.Unlock()
+	if fire {
+		s.run(b)
+	}
+}
+
+// detachLocked closes b to new items and accounts the dispatch; the
+// caller must invoke s.run(b) after releasing s.mu. Caller holds s.mu.
+func (s *Scheduler) detachLocked(b *batch, trigger *atomic.Int64) {
+	if s.open[b.key] == b {
+		delete(s.open, b.key)
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	trigger.Add(1)
+	s.batches.Add(1)
+	s.drain.Add(1)
+}
+
+// run executes one detached batch — on the leader submitter's goroutine
+// for size flushes, on the timer or Close goroutine otherwise: compile
+// once (almost always a cache hit), fan the items over the backend's
+// leased-machine batch path, then publish every item's outcome and wake
+// all waiters with one channel close.
+func (s *Scheduler) run(b *batch) {
+	defer s.drain.Done()
+	n := len(b.reqs)
+	c, cerr := s.backend.Compile(b.g, b.key.cfg, b.key.opts)
+	if cerr != nil {
+		b.batchErr = &CompileError{Err: cerr}
+		s.deliver(b)
+		return
+	}
+	b.c = c
+	sinks := c.Graph.Outputs()
+	ins := make([][]float64, n)
+	b.outs = make([][]float64, n)
+	flat := make([]float64, n*len(sinks))
+	b.cycles = make([]int, n)
+	b.errs = make([]error, n)
+	for i := range b.reqs {
+		ins[i] = b.reqs[i].inputs
+		b.outs[i] = flat[i*len(sinks) : (i+1)*len(sinks) : (i+1)*len(sinks)]
+	}
+	s.backend.ExecuteBatchInto(c, ins, b.outs, b.cycles, b.errs)
+	// The engine writes outputs in the compiled (binarized) graph's sink
+	// order; requests are answered in the submitted graph's order. The
+	// permutation is identity for already-binary graphs (Remap is the
+	// identity), checked without allocating.
+	orig := b.g.Outputs()
+	identity := len(orig) == len(sinks)
+	if identity {
+		for j, o := range orig {
+			if c.Remap[o] != sinks[j] {
+				identity = false
+				break
+			}
+		}
+	}
+	if !identity {
+		perm := make([]int, len(orig))
+		pos := make(map[dag.NodeID]int, len(sinks))
+		for i, sk := range sinks {
+			pos[sk] = i
+		}
+		for j, o := range orig {
+			perm[j] = pos[c.Remap[o]]
+		}
+		for i := range b.outs {
+			if b.errs[i] != nil {
+				continue
+			}
+			po := make([]float64, len(orig))
+			for j, p := range perm {
+				po[j] = b.outs[i][p]
+			}
+			b.outs[i] = po
+		}
+	}
+	s.deliver(b)
+}
+
+// deliver accounts the finished batch, releases its queue slots and
+// wakes every waiter. Publication is safe without per-item signalling:
+// all writes to b happen before close(b.done), and waiters only read b
+// after receiving from it.
+func (s *Scheduler) deliver(b *batch) {
+	now := s.clock.Now()
+	for i := range b.reqs {
+		if b.batchErr != nil || b.errs[i] != nil {
+			s.failed.Add(1)
+		} else {
+			s.completed.Add(1)
+		}
+		s.latency.Observe(int64(now.Sub(b.reqs[i].enq)))
+	}
+	s.batchSize.Observe(int64(len(b.reqs)))
+	s.mu.Lock()
+	s.queued -= len(b.reqs)
+	s.mu.Unlock()
+	close(b.done)
+}
+
+// Close stops admission (new submissions fail with ErrClosed),
+// dispatches every open batch immediately, and blocks until all
+// dispatched work has been delivered — the graceful-drain contract.
+// Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	var flush []*batch
+	if !s.closed {
+		s.closed = true
+		for _, b := range s.open {
+			s.detachLocked(b, &s.closeFlushes)
+			flush = append(flush, b)
+		}
+	}
+	s.mu.Unlock()
+	for _, b := range flush {
+		s.run(b)
+	}
+	s.drain.Wait()
+}
+
+// Stats returns a snapshot of the scheduler's counters and histograms.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	depth := s.queued
+	s.mu.Unlock()
+	return Stats{
+		Submitted:     s.submitted.Load(),
+		Rejected:      s.rejected.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Batches:       s.batches.Load(),
+		SizeFlushes:   s.sizeFlushes.Load(),
+		LingerFlushes: s.lingerFlushes.Load(),
+		CloseFlushes:  s.closeFlushes.Load(),
+		QueueDepth:    depth,
+		QueueLimit:    s.opts.QueueDepth,
+		BatchSize:     s.batchSize.Summary(),
+		Latency:       s.latency.Summary(),
+	}
+}

@@ -1,0 +1,394 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/engine"
+)
+
+var testCfg = arch.Config{D: 2, B: 8, R: 16}
+
+func testGraph(seed int64) *dag.Graph {
+	return dag.RandomGraph(dag.RandomConfig{
+		Inputs:   4,
+		Interior: 25,
+		MaxArgs:  2,
+		MulFrac:  0.3,
+		Seed:     seed,
+	})
+}
+
+func testInputs(g *dag.Graph, scale float64) []float64 {
+	in := make([]float64, len(g.Inputs()))
+	for i := range in {
+		in[i] = scale * (0.25 + float64(i)*0.125)
+	}
+	return in
+}
+
+// wantEval computes the reference outputs for g in g.Outputs() order —
+// the exact contract of Scheduler results.
+func wantEval(t *testing.T, g *dag.Graph, in []float64) []float64 {
+	t.Helper()
+	vals, err := dag.Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := g.Outputs()
+	want := make([]float64, len(outs))
+	for j, s := range outs {
+		want[j] = vals[s]
+	}
+	return want
+}
+
+// waitStats polls until cond on the scheduler's stats holds; the policy
+// tests use it only to wait for concurrent Submit goroutines to reach
+// their blocking point, never to time-race the linger policy itself.
+func waitStats(t *testing.T, s *Scheduler, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(s.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for scheduler state; stats = %+v", s.Stats())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestCoalescingPolicyTable drives the batching policy deterministically
+// with a fake clock: batches fill before the linger expires, the linger
+// fires first, admission control rejects beyond the queue bound, and
+// negative linger degenerates to immediate dispatch.
+func TestCoalescingPolicyTable(t *testing.T) {
+	cases := []struct {
+		name       string
+		maxBatch   int
+		queueDepth int
+		linger     time.Duration
+		submits    int
+		advance    time.Duration
+		wantSize   int64
+		wantLinger int64
+		wantRej    int64
+		// wantSizes maps batch size → how many batches of that size
+		// were dispatched (read back from the batch-size histogram).
+		wantSizes map[int64]uint64
+	}{
+		{
+			name:     "batch fills before linger",
+			maxBatch: 4, linger: time.Hour,
+			submits:   4,
+			wantSize:  1,
+			wantSizes: map[int64]uint64{4: 1},
+		},
+		{
+			name:     "linger fires first",
+			maxBatch: 100, linger: 10 * time.Millisecond,
+			submits: 3, advance: 10 * time.Millisecond,
+			wantLinger: 1,
+			wantSizes:  map[int64]uint64{3: 1},
+		},
+		{
+			name:     "queue-full rejection",
+			maxBatch: 100, queueDepth: 2, linger: 10 * time.Millisecond,
+			submits: 5, advance: 10 * time.Millisecond,
+			wantLinger: 1, wantRej: 3,
+			wantSizes: map[int64]uint64{2: 1},
+		},
+		{
+			name:     "negative linger dispatches immediately",
+			maxBatch: 100, linger: -1,
+			submits:   3,
+			wantSize:  3,
+			wantSizes: map[int64]uint64{1: 3},
+		},
+		{
+			name:     "max-batch splits, linger flushes the tail",
+			maxBatch: 2, linger: 10 * time.Millisecond,
+			submits: 5, advance: 10 * time.Millisecond,
+			wantSize: 2, wantLinger: 1,
+			wantSizes: map[int64]uint64{2: 2, 1: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := NewFakeClock(time.Unix(0, 0))
+			s := New(engine.New(engine.Options{}), Options{
+				MaxBatch:   tc.maxBatch,
+				Linger:     tc.linger,
+				QueueDepth: tc.queueDepth,
+				Clock:      clk,
+			})
+			defer s.Close()
+			g := testGraph(1)
+			in := testInputs(g, 1)
+			want := wantEval(t, g, in)
+
+			type outcome struct {
+				res Result
+				err error
+			}
+			results := make(chan outcome, tc.submits)
+			for i := 0; i < tc.submits; i++ {
+				go func() {
+					res, err := s.Submit(g, testCfg, compiler.Options{}, in)
+					results <- outcome{res, err}
+				}()
+			}
+			// Every goroutine has either been admitted (blocked on its
+			// batch) or rejected before the clock moves.
+			waitStats(t, s, func(st Stats) bool {
+				return st.Submitted+st.Rejected == int64(tc.submits)
+			})
+			if tc.advance > 0 {
+				clk.Advance(tc.advance)
+			}
+			var rejected int64
+			for i := 0; i < tc.submits; i++ {
+				o := <-results
+				if o.err != nil {
+					if !errors.Is(o.err, ErrQueueFull) {
+						t.Fatalf("unexpected error: %v", o.err)
+					}
+					rejected++
+					continue
+				}
+				for j := range want {
+					if o.res.Outputs[j] != want[j] {
+						t.Errorf("output %d = %v, want %v", j, o.res.Outputs[j], want[j])
+					}
+				}
+				if o.res.Cycles <= 0 {
+					t.Error("missing cycle count")
+				}
+			}
+			st := s.Stats()
+			if rejected != tc.wantRej || st.Rejected != tc.wantRej {
+				t.Errorf("rejected = %d (stats %d), want %d", rejected, st.Rejected, tc.wantRej)
+			}
+			if st.SizeFlushes != tc.wantSize {
+				t.Errorf("size flushes = %d, want %d", st.SizeFlushes, tc.wantSize)
+			}
+			if st.LingerFlushes != tc.wantLinger {
+				t.Errorf("linger flushes = %d, want %d", st.LingerFlushes, tc.wantLinger)
+			}
+			if st.Completed != int64(tc.submits)-tc.wantRej {
+				t.Errorf("completed = %d, want %d", st.Completed, int64(tc.submits)-tc.wantRej)
+			}
+			if st.QueueDepth != 0 {
+				t.Errorf("queue depth = %d after quiescence, want 0", st.QueueDepth)
+			}
+			gotSizes := map[int64]uint64{}
+			var nBatches int64
+			for _, b := range s.batchSize.Snapshot().Buckets {
+				gotSizes[b.Upper] = b.Count
+				nBatches += int64(b.Count)
+			}
+			for size, count := range tc.wantSizes {
+				if gotSizes[size] != count {
+					t.Errorf("batch sizes = %v, want %v", gotSizes, tc.wantSizes)
+					break
+				}
+			}
+			if st.Batches != nBatches {
+				t.Errorf("batches = %d, histogram holds %d", st.Batches, nBatches)
+			}
+		})
+	}
+}
+
+// TestCloseDrainsAndRejects pins the graceful-drain contract: Close
+// dispatches open batches immediately (no waiting out the linger),
+// blocks until they deliver, and later submissions fail with ErrClosed.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 100, Linger: time.Hour, Clock: clk})
+	g := testGraph(2)
+	in := testInputs(g, 1)
+	want := wantEval(t, g, in)
+
+	const n = 3
+	results := make(chan Result, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			res, err := s.Submit(g, testCfg, compiler.Options{}, in)
+			results <- res
+			errs <- err
+		}()
+	}
+	waitStats(t, s, func(st Stats) bool { return st.Submitted == n })
+	s.Close() // returns only after the in-flight batch delivered
+	st := s.Stats()
+	if st.CloseFlushes != 1 || st.Completed != n {
+		t.Errorf("after close: %+v, want 1 close flush and %d completed", st, n)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+		res := <-results
+		for j := range want {
+			if res.Outputs[j] != want[j] {
+				t.Errorf("drained output %d = %v, want %v", j, res.Outputs[j], want[j])
+			}
+		}
+	}
+	if _, err := s.Submit(g, testCfg, compiler.Options{}, in); !errors.Is(err, ErrClosed) {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// TestSubmitManyCoalescesAndReportsPerItem checks that one caller's
+// vectors coalesce into shared batches, per-item errors stay in their
+// slots, and admission failures past the queue bound are itemized.
+func TestSubmitManyCoalescesAndReportsPerItem(t *testing.T) {
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 8, Linger: -1})
+	defer s.Close()
+	g := testGraph(3)
+	in := testInputs(g, 1)
+	want := wantEval(t, g, in)
+
+	batches := [][]float64{in, in[:1], in} // middle item has wrong arity
+	results, errs := s.SubmitMany(g, testCfg, compiler.Options{}, batches)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good items errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Error("wrong-arity item did not error")
+	}
+	for _, i := range []int{0, 2} {
+		for j := range want {
+			if results[i].Outputs[j] != want[j] {
+				t.Errorf("item %d output %d = %v, want %v", i, j, results[i].Outputs[j], want[j])
+			}
+		}
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Completed != 2 {
+		t.Errorf("stats = %+v, want 2 completed / 1 failed", st)
+	}
+
+	// Admission: a queue bound smaller than the request itemizes
+	// ErrQueueFull on the overflow, still running what was admitted.
+	clk := NewFakeClock(time.Unix(0, 0))
+	s2 := New(engine.New(engine.Options{}), Options{MaxBatch: 100, Linger: time.Hour, QueueDepth: 2, Clock: clk})
+	done := make(chan struct{})
+	var r2 []Result
+	var e2 []error
+	go func() {
+		r2, e2 = s2.SubmitMany(g, testCfg, compiler.Options{}, [][]float64{in, in, in, in})
+		close(done)
+	}()
+	waitStats(t, s2, func(st Stats) bool { return st.Submitted == 2 && st.Rejected == 2 })
+	clk.Advance(time.Hour)
+	<-done
+	for i := 0; i < 2; i++ {
+		if e2[i] != nil {
+			t.Errorf("admitted item %d errored: %v", i, e2[i])
+		}
+		if len(r2[i].Outputs) != len(want) {
+			t.Errorf("admitted item %d missing outputs", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if !errors.Is(e2[i], ErrQueueFull) {
+			t.Errorf("overflow item %d = %v, want ErrQueueFull", i, e2[i])
+		}
+	}
+	s2.Close()
+}
+
+// TestKAryGraphOutputsPermuted exercises the non-identity sink
+// permutation: a k-ary multi-sink graph is renumbered by binarization,
+// yet Submit must answer in the submitted graph's sink order.
+func TestKAryGraphOutputsPermuted(t *testing.T) {
+	s := New(engine.New(engine.Options{}), Options{Linger: -1})
+	defer s.Close()
+	// Two sinks, one of them a 3-ary op: binarization renumbers.
+	g := dag.New("kary")
+	a := g.AddInput()
+	bb := g.AddInput()
+	c := g.AddInput()
+	sum := g.AddOp(dag.OpAdd, a, bb, c) // sink 3 (renumbered)
+	g.AddOp(dag.OpMul, sum, a)          // sink 4
+	in := []float64{2, 3, 4}
+	want := wantEval(t, g, in)
+	res, err := s.Submit(g, testCfg, compiler.Options{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(res.Outputs), len(want))
+	}
+	for j := range want {
+		if res.Outputs[j] != want[j] {
+			t.Errorf("output %d = %v, want %v (sink order not preserved?)", j, res.Outputs[j], want[j])
+		}
+	}
+}
+
+// TestCompileErrorFailsWholeBatch: an uncompilable configuration must
+// surface to every coalesced caller and count as failures, not hang.
+func TestCompileErrorFailsWholeBatch(t *testing.T) {
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 2, Linger: time.Hour, Clock: NewFakeClock(time.Unix(0, 0))})
+	defer s.Close()
+	g := testGraph(4)
+	bad := arch.Config{D: 5, B: 2, R: 8} // B < 2^D: rejected by the compiler
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(g, bad, compiler.Options{}, testInputs(g, 1)); err == nil {
+				t.Error("compile failure did not surface")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Failed != 2 || st.Completed != 0 {
+		t.Errorf("stats = %+v, want 2 failed", st)
+	}
+}
+
+// TestDistinctKeysDoNotCoalesce: different graphs (and different
+// configs of the same graph) must land in different batches.
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 100, Linger: time.Millisecond, Clock: clk})
+	defer s.Close()
+	g1, g2 := testGraph(5), testGraph(6)
+	var wg sync.WaitGroup
+	submit := func(g *dag.Graph, cfg arch.Config) {
+		defer wg.Done()
+		in := testInputs(g, 1)
+		want := wantEval(t, g, in)
+		res, err := s.Submit(g, cfg, compiler.Options{}, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for j := range want {
+			if res.Outputs[j] != want[j] {
+				t.Errorf("graph %s output %d = %v, want %v", g.Name, j, res.Outputs[j], want[j])
+			}
+		}
+	}
+	wg.Add(3)
+	go submit(g1, testCfg)
+	go submit(g2, testCfg)
+	go submit(g1, arch.Config{D: 2, B: 8, R: 32})
+	waitStats(t, s, func(st Stats) bool { return st.Submitted == 3 })
+	clk.Advance(time.Millisecond)
+	wg.Wait()
+	if st := s.Stats(); st.Batches != 3 {
+		t.Errorf("batches = %d, want 3 (distinct keys must not coalesce)", st.Batches)
+	}
+}

@@ -1,0 +1,389 @@
+// Package serve is the HTTP serving layer over the engine and the
+// micro-batching scheduler: cmd/dpu-serve mounts it on a listener,
+// cmd/dpu-loadgen and the tests drive it in-process. Requests are
+// batched by default — each input vector of a POST /execute becomes one
+// scheduler submission, so concurrent clients with the same graph
+// coalesce into shared engine batches — with admission control surfaced
+// as HTTP status codes:
+//
+//	400  malformed JSON / graph / config
+//	413  more input vectors than the per-request bound
+//	422  graph fails compilation
+//	429  scheduler queue full (shed load, retry later)
+//	503  server draining (graceful shutdown in progress)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/engine"
+	"dpuv2/internal/metrics"
+	"dpuv2/internal/sched"
+)
+
+// ExecuteRequest is the POST /execute body.
+type ExecuteRequest struct {
+	Graph   string           `json:"graph"`
+	Config  arch.Config      `json:"config"`
+	Options compiler.Options `json:"options"`
+	Inputs  [][]float64      `json:"inputs"`
+}
+
+// ExecuteResult is one input vector's outcome.
+type ExecuteResult struct {
+	Outputs []float64 `json:"outputs,omitempty"`
+	Cycles  int       `json:"cycles,omitempty"`
+	Error   string    `json:"error,omitempty"`
+}
+
+// ExecuteResponse is the POST /execute reply.
+type ExecuteResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	Config      string          `json:"config"`
+	Sinks       []int           `json:"sinks"`
+	Compile     compiler.Stats  `json:"compile"`
+	Batched     bool            `json:"batched"`
+	Results     []ExecuteResult `json:"results"`
+}
+
+// HTTPStats is the serving layer's own slice of GET /stats.
+type HTTPStats struct {
+	Requests int64 `json:"requests"`
+	// Errors counts requests answered with a non-2xx status.
+	Errors int64 `json:"errors"`
+	// Latency summarizes whole-request wall time in nanoseconds,
+	// including scheduler queueing.
+	Latency metrics.Summary `json:"latency_ns"`
+}
+
+// StatsResponse is the GET /stats body: engine counters, scheduler
+// counters (queue depth, batch-size histogram, per-item latency
+// quantiles) and HTTP-level latency quantiles.
+type StatsResponse struct {
+	Engine engine.Stats `json:"engine"`
+	Sched  sched.Stats  `json:"sched"`
+	HTTP   HTTPStats    `json:"http"`
+}
+
+// maxRequestBytes bounds one /execute body; graphs and input batches
+// beyond it belong in multiple requests.
+const maxRequestBytes = 64 << 20
+
+// Options configure a Server; the zero value is a production-ready
+// default.
+type Options struct {
+	// Sched configures the batching scheduler (MaxBatch, Linger,
+	// QueueDepth, Clock — the latter injected by tests).
+	Sched sched.Options
+	// MaxInputsPerRequest rejects requests carrying more input vectors
+	// with 413, so one client cannot monopolize the queue. Default 1024.
+	MaxInputsPerRequest int
+	// Unbatched bypasses the scheduler and executes each request on its
+	// own (PR 2's serving path) — kept for A/B measurement.
+	Unbatched bool
+}
+
+func (o Options) normalize() Options {
+	if o.MaxInputsPerRequest <= 0 {
+		o.MaxInputsPerRequest = 1024
+	}
+	return o
+}
+
+// Server owns the handler state: the engine, the scheduler in front of
+// it, and the serving metrics. Create with New, mount Handler, stop with
+// Drain.
+type Server struct {
+	eng  *engine.Engine
+	sch  *sched.Scheduler
+	opts Options
+
+	draining atomic.Bool
+	// drainMu is held shared by every in-flight /execute handler and
+	// exclusively (briefly) by Drain, which thereby waits for them.
+	drainMu sync.RWMutex
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  metrics.Histogram
+
+	mux *http.ServeMux
+}
+
+// New builds a Server around eng.
+func New(eng *engine.Engine, opts Options) *Server {
+	s := &Server{
+		eng:  eng,
+		sch:  sched.New(eng, opts.Sched),
+		opts: opts.normalize(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/execute", s.handleExecute)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the batching scheduler (tests and stats).
+func (s *Server) Scheduler() *sched.Scheduler { return s.sch }
+
+// Drain gracefully shuts the serving path down: new requests are
+// answered 503, the scheduler stops admission and flushes its open
+// batches (so requests blocked on a linger timer complete immediately),
+// and Drain returns once every in-flight request has been answered.
+// Safe to call more than once.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	// Close the scheduler BEFORE waiting on handlers: an in-flight
+	// request may be parked inside SubmitMany waiting for its batch's
+	// linger timer, and Close is what flushes it.
+	s.sch.Close()
+	s.drainMu.Lock()
+	s.drainMu.Unlock() //nolint:staticcheck // empty critical section = barrier
+}
+
+// Stats snapshots all three layers.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Engine: s.eng.Stats(),
+		Sched:  s.sch.Stats(),
+		HTTP: HTTPStats{
+			Requests: s.requests.Load(),
+			Errors:   s.errors.Load(),
+			Latency:  s.latency.Summary(),
+		},
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// fail answers with status and counts the error.
+func (s *Server) fail(w http.ResponseWriter, msg string, status int) {
+	s.errors.Add(1)
+	http.Error(w, msg, status)
+}
+
+// checkConfigBounds rejects client configs whose machine state would be
+// unreasonably large before anything is allocated. arch.Config.Validate
+// checks constructibility, not size: B·R float64 registers (plus valid
+// bits) and DataMemWords words are allocated per pooled machine, so a
+// hostile {R: 1e9} request would otherwise OOM the server. The caps
+// comfortably cover every configuration of the paper (DPU-v2 (L) is
+// B=64, R=256, 4M-word memory).
+func checkConfigBounds(cfg arch.Config) error {
+	cfg = cfg.Normalize()
+	const (
+		maxB        = 1 << 10
+		maxR        = 1 << 12
+		maxMemWords = 1 << 24 // 128 MB of float64
+	)
+	if cfg.B > maxB || cfg.R > maxR {
+		return fmt.Errorf("register file %dx%d exceeds the serving limit %dx%d", cfg.B, cfg.R, maxB, maxR)
+	}
+	if cfg.DataMemWords > maxMemWords {
+		return fmt.Errorf("data memory %d words exceeds the serving limit %d", cfg.DataMemWords, maxMemWords)
+	}
+	return nil
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	defer func() { s.latency.ObserveDuration(time.Since(start)) }()
+	if r.Method != http.MethodPost {
+		s.fail(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		s.fail(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req ExecuteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		s.fail(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Inputs) > s.opts.MaxInputsPerRequest {
+		s.fail(w, fmt.Sprintf("batch of %d input vectors exceeds the per-request limit %d",
+			len(req.Inputs), s.opts.MaxInputsPerRequest), http.StatusRequestEntityTooLarge)
+		return
+	}
+	g, err := dag.Read(strings.NewReader(req.Graph), "request")
+	if err != nil {
+		s.fail(w, "bad graph: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg := req.Config
+	if cfg == (arch.Config{}) {
+		// Only a fully omitted config defaults to the paper's min-EDP
+		// point; a partial config is the client's mistake and fails
+		// validation with a precise message instead of being silently
+		// replaced.
+		cfg = arch.MinEDP()
+	}
+	if err := checkConfigBounds(cfg); err != nil {
+		s.fail(w, "bad config: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := ExecuteResponse{
+		Fingerprint: g.Fingerprint().String(),
+		Batched:     !s.opts.Unbatched,
+		Results:     make([]ExecuteResult, len(req.Inputs)),
+	}
+	// Report sinks as ids of the graph the client submitted; for k-ary
+	// graphs the compiled (binarized) graph has different ids.
+	for _, sk := range g.Outputs() {
+		resp.Sinks = append(resp.Sinks, int(sk))
+	}
+	var c *compiler.Compiled
+	if s.opts.Unbatched {
+		var err error
+		c, err = s.eng.Compile(g, cfg, req.Options)
+		if err != nil {
+			s.fail(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		s.executeUnbatched(c, g, &req, &resp)
+	} else {
+		// The scheduler's batch leader compiles (single-flight, cached);
+		// the request does NOT pre-compile, so the batched path touches
+		// the engine's cache lock once per batch, not once per request.
+		var ok bool
+		if c, ok = s.executeBatched(w, g, cfg, &req, &resp); !ok {
+			return // already answered with 422/429/503
+		}
+	}
+	if c == nil {
+		// No item carried the compiled program (empty input list, or
+		// every vector failed in execution): compile — almost always a
+		// cache hit — purely for the response metadata.
+		var err error
+		c, err = s.eng.Compile(g, cfg, req.Options)
+		if err != nil {
+			s.fail(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+	}
+	resp.Config = c.Prog.Cfg.String()
+	resp.Compile = c.Stats
+	// JSON has no encoding for ±Inf/NaN, and a mid-body Encode failure
+	// would truncate a committed 200: itemize non-finite outputs as
+	// per-vector errors and encode to a buffer before writing anything.
+	for i, res := range resp.Results {
+		for _, v := range res.Outputs {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				resp.Results[i] = ExecuteResult{Error: fmt.Sprintf("non-finite output %v (overflow?)", v)}
+				break
+			}
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.fail(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// executeBatched fans the request's input vectors through the scheduler,
+// coalescing with concurrent requests, and returns the compiled program
+// the batch ran (nil when no vector completed) for response metadata.
+// It reports ok=false after answering the request itself when every
+// vector was turned away before execution: full-queue and draining map
+// to 429/503, a compilation failure to 422. Partial admission stays a
+// 200 with per-item errors, so a burst sheds its overflow without
+// losing the work already queued.
+func (s *Server) executeBatched(w http.ResponseWriter, g *dag.Graph, cfg arch.Config, req *ExecuteRequest, resp *ExecuteResponse) (*compiler.Compiled, bool) {
+	results, errs := s.sch.SubmitMany(g, cfg, req.Options, req.Inputs)
+	var c *compiler.Compiled
+	admitted, anyOK := false, false
+	var compileErr *sched.CompileError
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			admitted, anyOK = true, true
+			if c == nil {
+				c = results[i].Compiled
+			}
+		case !errors.Is(err, sched.ErrQueueFull) && !errors.Is(err, sched.ErrClosed):
+			admitted = true
+			errors.As(err, &compileErr)
+		}
+	}
+	if !admitted && len(req.Inputs) > 0 {
+		if errors.Is(errs[0], sched.ErrClosed) {
+			s.fail(w, "server draining", http.StatusServiceUnavailable)
+		} else {
+			s.fail(w, "queue full: "+errs[0].Error(), http.StatusTooManyRequests)
+		}
+		return nil, false
+	}
+	if compileErr != nil && !anyOK {
+		s.fail(w, "compile: "+compileErr.Err.Error(), http.StatusUnprocessableEntity)
+		return nil, false
+	}
+	for i := range req.Inputs {
+		if errs[i] != nil {
+			resp.Results[i] = ExecuteResult{Error: errs[i].Error()}
+			continue
+		}
+		resp.Results[i] = ExecuteResult{Outputs: results[i].Outputs, Cycles: results[i].Cycles}
+	}
+	return c, true
+}
+
+// executeUnbatched is PR 2's per-request path: the request's vectors fan
+// out over the engine's worker pool in isolation, never coalescing with
+// other requests.
+func (s *Server) executeUnbatched(c *compiler.Compiled, g *dag.Graph, req *ExecuteRequest, resp *ExecuteResponse) {
+	origOuts := g.Outputs()
+	sinks := make([]dag.NodeID, len(origOuts))
+	for j, sk := range origOuts {
+		sinks[j] = c.Remap[sk]
+	}
+	results, errs := s.eng.ExecuteBatchItems(c, req.Inputs)
+	for i, res := range results {
+		if res == nil {
+			msg := "execution failed"
+			if errs[i] != nil {
+				msg = errs[i].Error()
+			}
+			resp.Results[i] = ExecuteResult{Error: msg}
+			continue
+		}
+		vals := make([]float64, len(sinks))
+		for j, sk := range sinks {
+			vals[j] = res.Outputs[sk]
+		}
+		resp.Results[i] = ExecuteResult{Outputs: vals, Cycles: res.Stats.Cycles}
+	}
+}

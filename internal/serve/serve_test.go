@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"dpuv2/internal/engine"
+	"dpuv2/internal/sched"
+)
+
+func postExecute(t *testing.T, srv *httptest.Server, req ExecuteRequest) (*http.Response, ExecuteResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ExecuteResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// waitSched polls the scheduler's stats until cond holds — used only to
+// wait for concurrent requests to reach their blocking point.
+func waitSched(t *testing.T, s *Server, cond func(sched.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(s.Scheduler().Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out; sched stats = %+v", s.Scheduler().Stats())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(engine.New(engine.Options{}), opts)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	t.Cleanup(s.Drain)
+	return s, srv
+}
+
+func TestServeExecuteEndToEnd(t *testing.T) {
+	for _, unbatched := range []bool{false, true} {
+		name := "batched"
+		if unbatched {
+			name = "unbatched"
+		}
+		t.Run(name, func(t *testing.T) {
+			s, srv := newTestServer(t, Options{Unbatched: unbatched})
+
+			// (x0 + x1) * 3 over two input vectors, plus one malformed vector.
+			req := ExecuteRequest{
+				Graph:  "input\ninput\nadd 0 1\nconst 3\nmul 2 3\n",
+				Inputs: [][]float64{{2, 5}, {1, 1}, {7}},
+			}
+			resp, out := postExecute(t, srv, req)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			if out.Fingerprint == "" {
+				t.Error("missing fingerprint")
+			}
+			if out.Batched == unbatched {
+				t.Errorf("batched = %v in %s mode", out.Batched, name)
+			}
+			if len(out.Results) != 3 {
+				t.Fatalf("got %d results, want 3", len(out.Results))
+			}
+			for i, want := range []float64{21, 6} {
+				r := out.Results[i]
+				if r.Error != "" {
+					t.Fatalf("result %d errored: %s", i, r.Error)
+				}
+				if len(r.Outputs) != 1 || r.Outputs[0] != want {
+					t.Errorf("result %d = %v, want [%v]", i, r.Outputs, want)
+				}
+				if r.Cycles <= 0 {
+					t.Errorf("result %d missing cycle count", i)
+				}
+			}
+			if out.Results[2].Error == "" {
+				t.Error("malformed input vector did not surface an error")
+			}
+
+			// Same graph again: the engine must report a cache hit.
+			if resp, _ := postExecute(t, srv, req); resp.StatusCode != http.StatusOK {
+				t.Fatalf("second request status = %d", resp.StatusCode)
+			}
+			st := s.Stats()
+			if st.Engine.Misses != 1 || st.Engine.Hits < 1 {
+				t.Errorf("engine stats = %+v, want one miss and at least one hit", st.Engine)
+			}
+			if !unbatched {
+				if st.Sched.Completed != 4 || st.Sched.Failed != 2 {
+					t.Errorf("sched stats = %+v, want 4 completed / 2 failed", st.Sched)
+				}
+			}
+		})
+	}
+}
+
+// TestServeKAryGraphSinkIDs pins the sink-id contract: the response
+// reports sinks as ids of the graph the client submitted, even when
+// binarization renumbers nodes internally.
+func TestServeKAryGraphSinkIDs(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+
+	// 3-ary add: node 3 in the client's graph, renumbered by Binarize.
+	req := ExecuteRequest{
+		Graph:  "input\ninput\ninput\nadd 0 1 2\n",
+		Inputs: [][]float64{{1, 2, 4}},
+	}
+	resp, out := postExecute(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out.Sinks) != 1 || out.Sinks[0] != 3 {
+		t.Errorf("sinks = %v, want [3] (ids of the submitted graph)", out.Sinks)
+	}
+	if len(out.Results) != 1 || out.Results[0].Error != "" {
+		t.Fatalf("results = %+v", out.Results)
+	}
+	if got := out.Results[0].Outputs; len(got) != 1 || got[0] != 7 {
+		t.Errorf("outputs = %v, want [7]", got)
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+
+	resp, err := http.Post(srv.URL+"/execute", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Truncated body: valid prefix of a JSON object, then EOF.
+	resp, err = http.Post(srv.URL+"/execute", "application/json", bytes.NewReader([]byte(`{"graph": "input`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	if resp, _ := postExecute(t, srv, ExecuteRequest{Graph: "bogus op\n"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed graph: status = %d, want 400", resp.StatusCode)
+	}
+
+	// A graph that fails compilation (B < 2^D) — with input vectors the
+	// failure surfaces through the scheduler batch (sched.CompileError),
+	// without them through the metadata fallback; both must 422.
+	badCfg := ExecuteRequest{Graph: "input\ninput\nadd 0 1\n"}
+	badCfg.Config.D = 5
+	badCfg.Config.B = 2
+	badCfg.Config.R = 8
+	if resp, _ := postExecute(t, srv, badCfg); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad config, no inputs: status = %d, want 422", resp.StatusCode)
+	}
+	badCfg.Inputs = [][]float64{{1, 2}, {3, 4}}
+	if resp, _ := postExecute(t, srv, badCfg); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad config, batched inputs: status = %d, want 422", resp.StatusCode)
+	}
+
+	// A constructible but absurdly sized config must be rejected before
+	// any machine is allocated.
+	huge := ExecuteRequest{Graph: "input\ninput\nadd 0 1\n", Inputs: [][]float64{{1, 2}}}
+	huge.Config.D = 1
+	huge.Config.B = 2
+	huge.Config.R = 1 << 30
+	if resp, _ := postExecute(t, srv, huge); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized config: status = %d, want 400", resp.StatusCode)
+	}
+
+	getResp, err := http.Get(srv.URL + "/execute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /execute: status = %d, want 405", getResp.StatusCode)
+	}
+
+	hResp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status = %d", hResp.StatusCode)
+	}
+}
+
+// TestServeNonFiniteOutputsItemized: JSON cannot represent ±Inf/NaN, so
+// an overflowing execution must come back as that vector's error — not
+// as a truncated 200 killed by the response encoder.
+func TestServeNonFiniteOutputsItemized(t *testing.T) {
+	for _, unbatched := range []bool{false, true} {
+		_, srv := newTestServer(t, Options{Unbatched: unbatched})
+		req := ExecuteRequest{
+			Graph:  "const 1e308\nconst 1e308\nmul 0 1\n",
+			Inputs: [][]float64{{}},
+		}
+		resp, out := postExecute(t, srv, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unbatched=%v: status = %d, want 200", unbatched, resp.StatusCode)
+		}
+		if len(out.Results) != 1 || out.Results[0].Error == "" {
+			t.Errorf("unbatched=%v: overflow not itemized: %+v", unbatched, out.Results)
+		}
+	}
+}
+
+// TestServeOversizedBatch413 pins the per-request batch bound.
+func TestServeOversizedBatch413(t *testing.T) {
+	_, srv := newTestServer(t, Options{MaxInputsPerRequest: 2})
+	req := ExecuteRequest{
+		Graph:  "input\ninput\nadd 0 1\n",
+		Inputs: [][]float64{{1, 2}, {3, 4}, {5, 6}},
+	}
+	resp, _ := postExecute(t, srv, req)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", resp.StatusCode)
+	}
+	// At the bound is fine.
+	req.Inputs = req.Inputs[:2]
+	if resp, _ := postExecute(t, srv, req); resp.StatusCode != http.StatusOK {
+		t.Errorf("status at bound = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeQueueFull429 fills the scheduler's queue with a request
+// parked on a never-firing fake-clock linger, then checks that the next
+// request is shed with 429 and that draining completes the parked one.
+func TestServeQueueFull429(t *testing.T) {
+	clk := sched.NewFakeClock(time.Unix(0, 0))
+	s, srv := newTestServer(t, Options{
+		Sched: sched.Options{MaxBatch: 100, Linger: time.Hour, QueueDepth: 1, Clock: clk},
+	})
+	req := ExecuteRequest{Graph: "input\ninput\nadd 0 1\n", Inputs: [][]float64{{1, 2}}}
+
+	type reply struct {
+		status int
+		out    ExecuteResponse
+	}
+	parked := make(chan reply, 1)
+	go func() {
+		resp, out := postExecute(t, srv, req)
+		parked <- reply{resp.StatusCode, out}
+	}()
+	waitSched(t, s, func(st sched.Stats) bool { return st.QueueDepth == 1 })
+
+	// Queue is full: the whole next request is turned away.
+	resp, _ := postExecute(t, srv, req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", resp.StatusCode)
+	}
+	if st := s.Scheduler().Stats(); st.Rejected == 0 {
+		t.Error("scheduler recorded no rejection")
+	}
+
+	// Drain flushes the parked batch; the in-flight request completes.
+	s.Drain()
+	got := <-parked
+	if got.status != http.StatusOK {
+		t.Fatalf("parked request status = %d, want 200", got.status)
+	}
+	if len(got.out.Results) != 1 || got.out.Results[0].Outputs[0] != 3 {
+		t.Errorf("parked result = %+v, want [3]", got.out.Results)
+	}
+}
+
+// TestServePartialAdmission: a request straddling the queue bound keeps
+// its admitted vectors and itemizes ErrQueueFull on the overflow.
+func TestServePartialAdmission(t *testing.T) {
+	clk := sched.NewFakeClock(time.Unix(0, 0))
+	s, srv := newTestServer(t, Options{
+		Sched: sched.Options{MaxBatch: 100, Linger: time.Hour, QueueDepth: 2, Clock: clk},
+	})
+	req := ExecuteRequest{
+		Graph:  "input\ninput\nadd 0 1\n",
+		Inputs: [][]float64{{1, 2}, {3, 4}, {5, 6}},
+	}
+	done := make(chan ExecuteResponse, 1)
+	go func() {
+		resp, out := postExecute(t, srv, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("status = %d, want 200 (partial admission)", resp.StatusCode)
+		}
+		done <- out
+	}()
+	waitSched(t, s, func(st sched.Stats) bool { return st.QueueDepth == 2 && st.Rejected == 1 })
+	clk.Advance(time.Hour)
+	out := <-done
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	for i, want := range []float64{3, 7} {
+		if out.Results[i].Error != "" || out.Results[i].Outputs[0] != want {
+			t.Errorf("result %d = %+v, want [%v]", i, out.Results[i], want)
+		}
+	}
+	if out.Results[2].Error == "" {
+		t.Error("overflow item did not itemize its rejection")
+	}
+}
+
+// TestServeStatsSchemaRoundTrip locks the /stats wire format: the body
+// must decode into StatsResponse with no unknown fields, carry the
+// queue-depth / batch-size / latency extensions, and re-encode to the
+// same JSON.
+func TestServeStatsSchemaRoundTrip(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+	req := ExecuteRequest{Graph: "input\ninput\nadd 0 1\n", Inputs: [][]float64{{1, 2}, {3, 4}}}
+	if resp, _ := postExecute(t, srv, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	var st StatsResponse
+	dec := json.NewDecoder(io.TeeReader(resp.Body, &buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("stats schema drifted from StatsResponse: %v", err)
+	}
+	// Round trip: re-encoding must reproduce the served JSON.
+	reenc, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(reenc, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("stats JSON does not round-trip:\nserved:   %s\nre-coded: %s", buf.Bytes(), reenc)
+	}
+	// The extensions the scheduler PR added must be live.
+	if st.Sched.Completed != 2 {
+		t.Errorf("sched.completed = %d, want 2", st.Sched.Completed)
+	}
+	if st.Sched.BatchSize.Count == 0 || st.Sched.BatchSize.Max == 0 {
+		t.Errorf("batch-size histogram empty: %+v", st.Sched.BatchSize)
+	}
+	if st.HTTP.Requests != 1 {
+		t.Errorf("http.requests = %d, want 1", st.HTTP.Requests)
+	}
+	l := st.HTTP.Latency
+	if l.Count != 1 || l.P50 <= 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+		t.Errorf("latency quantiles inconsistent: %+v", l)
+	}
+	if st.Sched.QueueDepth != 0 || st.Sched.QueueLimit <= 0 {
+		t.Errorf("queue depth/limit = %d/%d", st.Sched.QueueDepth, st.Sched.QueueLimit)
+	}
+}
+
+// TestServeGracefulDrain: requests in flight when the drain starts
+// complete successfully; requests arriving after it are answered 503,
+// and /healthz flips to 503 so load balancers stop routing here.
+func TestServeGracefulDrain(t *testing.T) {
+	clk := sched.NewFakeClock(time.Unix(0, 0))
+	s, srv := newTestServer(t, Options{
+		Sched: sched.Options{MaxBatch: 100, Linger: time.Hour, Clock: clk},
+	})
+	req := ExecuteRequest{Graph: "input\ninput\nmul 0 1\n", Inputs: [][]float64{{6, 7}}}
+
+	inflight := make(chan reply2, 1)
+	go func() {
+		resp, out := postExecute(t, srv, req)
+		inflight <- reply2{resp.StatusCode, out}
+	}()
+	waitSched(t, s, func(st sched.Stats) bool { return st.QueueDepth == 1 })
+
+	s.Drain()
+
+	// The in-flight request was flushed by the drain and completed.
+	got := <-inflight
+	if got.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status = %d, want 200", got.status)
+	}
+	if got.out.Results[0].Outputs[0] != 42 {
+		t.Errorf("in-flight result = %+v, want [42]", got.out.Results[0])
+	}
+
+	// New work is rejected.
+	if resp, _ := postExecute(t, srv, req); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain execute: status = %d, want 503", resp.StatusCode)
+	}
+	hResp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain healthz: status = %d, want 503", hResp.StatusCode)
+	}
+}
+
+type reply2 struct {
+	status int
+	out    ExecuteResponse
+}
