@@ -25,9 +25,20 @@
 // requests complete, new ones are answered 503 until the listener
 // closes.
 //
+// -artifact-dir makes compilation a true offline step: the directory is
+// opened as a content-addressed store of .dpuprog artifacts
+// (internal/artifact), every artifact in it is preloaded into the
+// compile cache at boot — so a restarted server's first request never
+// compiles — and every compilation the server does perform is persisted
+// back, off the request path. Populate the directory ahead of time with
+// `dpu-compile -o <dir>/name.dpuprog`, or simply let a previous run of
+// the server fill it. /stats reports store hits/misses/preloads under
+// "engine".
+//
 // Example:
 //
-//	dpu-serve -addr :8080 -cache 256 -max-batch 32 -linger 500us &
+//	dpu-serve -addr :8080 -cache 256 -max-batch 32 -linger 500us \
+//	          -artifact-dir /var/lib/dpu/artifacts &
 //	curl -s localhost:8080/execute -d '{
 //	  "graph": "input\ninput\nadd 0 1\nconst 3\nmul 2 3",
 //	  "inputs": [[2,5],[1,1]]}'
@@ -43,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpuv2/internal/artifact"
 	"dpuv2/internal/engine"
 	"dpuv2/internal/sched"
 	"dpuv2/internal/serve"
@@ -58,9 +70,27 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4096, "admitted-but-unfinished executions before 429s")
 	maxInputs := flag.Int("max-inputs", 1024, "input vectors allowed per request before 413s")
 	unbatched := flag.Bool("unbatched", false, "bypass the batching scheduler (PR 2 behavior)")
+	artifactDir := flag.String("artifact-dir", "", "persistent compiled-program store: preload .dpuprog artifacts at boot, persist new compilations")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool})
+	var store *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		if store, err = artifact.Open(*artifactDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool, Store: store})
+	if store != nil {
+		n, err := eng.Preload()
+		if err != nil {
+			log.Fatalf("dpu-serve: warm-start: %v", err)
+		}
+		if s := eng.Stats(); s.StoreErrors > 0 {
+			log.Printf("dpu-serve: warm-start skipped %d undecodable artifacts in %s", s.StoreErrors, *artifactDir)
+		}
+		log.Printf("dpu-serve: warm-started %d compiled programs from %s", n, *artifactDir)
+	}
 	srv := serve.New(eng, serve.Options{
 		Sched: sched.Options{
 			MaxBatch:   *maxBatch,
@@ -79,6 +109,7 @@ func main() {
 		sig := <-sigc
 		log.Printf("dpu-serve: %v, draining", sig)
 		srv.Drain() // in-flight requests finish; new ones get 503
+		eng.Flush() // async artifact persists land before exit
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -1,18 +1,26 @@
-// Command dpu-sim compiles a benchmark workload, executes it on the
-// cycle-accurate simulator with pseudo-random inputs, verifies every
-// output against the reference evaluator, and reports throughput, power
-// and energy estimates.
+// Command dpu-sim executes a workload on the cycle-accurate simulator
+// with pseudo-random inputs, verifies every output against the
+// reference evaluator, and reports throughput, power and energy
+// estimates. The program either comes from an in-process compilation of
+// a named benchmark, or — with -artifact — from a compiled .dpuprog
+// artifact (see internal/artifact and dpu-compile -o), in which case
+// nothing is compiled at all: the deployment shape where compilation is
+// an offline step.
 //
 //	dpu-sim -workload jagmesh4 -scale 0.5
+//	dpu-sim -artifact mnist.dpuprog
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/energy"
@@ -36,25 +44,68 @@ func buildWorkload(name string, scale float64) (*dag.Graph, error) {
 	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
-func main() {
-	workload := flag.String("workload", "tretail", "benchmark name from Table I")
-	scale := flag.Float64("scale", 1.0, "workload scale")
-	d := flag.Int("d", 3, "tree depth D")
-	b := flag.Int("b", 64, "register banks B")
-	r := flag.Int("r", 32, "registers per bank R")
-	seed := flag.Int64("seed", 0, "input/compiler seed")
-	flag.Parse()
-
-	g, err := buildWorkload(*workload, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// run is the testable body of the command; it returns the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpu-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "tretail", "benchmark name from Table I")
+	artifactPath := fs.String("artifact", "", "execute a compiled .dpuprog artifact instead of compiling a workload")
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	d := fs.Int("d", 3, "tree depth D")
+	b := fs.Int("b", 64, "register banks B")
+	r := fs.Int("r", 32, "registers per bank R")
+	seed := fs.Int64("seed", 0, "input/compiler seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h is a successful usage request, not a mistake
+		}
+		return 2
 	}
-	cfg := arch.Config{D: *d, B: *b, R: *r, Output: arch.OutPerLayer}
-	c, err := compiler.Compile(g, cfg, compiler.Options{Seed: *seed})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	var c *compiler.Compiled
+	var cfg arch.Config
+	if *artifactPath != "" {
+		// An artifact fixes the workload and configuration; accepting
+		// -workload/-d/-b/-r alongside it would silently report numbers
+		// for a configuration the user did not ask for.
+		conflict := ""
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workload", "scale", "d", "b", "r":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "dpu-sim: -%s conflicts with -artifact (the artifact carries its own workload and configuration)\n", conflict)
+			return 2
+		}
+		f, err := os.Open(*artifactPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		a, err := artifact.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		c = a.Compiled
+		cfg = c.Prog.Cfg
+		fmt.Fprintf(stdout, "artifact:    %s (fingerprint %s, format v%d)\n",
+			*artifactPath, a.Fingerprint.Short(), artifact.Version)
+	} else {
+		g, err := buildWorkload(*workload, *scale)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		cfg = arch.Config{D: *d, B: *b, R: *r, Output: arch.OutPerLayer}
+		c, err = compiler.Compile(g, cfg, compiler.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	}
 	rng := rand.New(rand.NewSource(*seed ^ 0x51b))
 	inputs := make([]float64, len(c.Graph.Inputs()))
@@ -63,16 +114,21 @@ func main() {
 	}
 	res, err := sim.Verify(c, inputs, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "verification FAILED:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "verification FAILED:", err)
+		return 1
 	}
 	est := energy.EstimateRun(cfg, c.Stats.Nodes, res.Stats, c.Prog)
-	fmt.Printf("workload:    %s, %d ops on %v\n", g.Name, c.Stats.Nodes, cfg.Normalize())
-	fmt.Printf("verified:    %d outputs match the reference evaluator exactly\n", len(res.Outputs))
-	fmt.Printf("cycles:      %d (%d instructions + pipeline drain)\n", res.Stats.Cycles, c.Stats.Instructions)
-	fmt.Printf("throughput:  %.3f GOPS at %.0f MHz\n", est.ThroughputGOP, cfg.Normalize().ClockMHz)
-	fmt.Printf("power:       %.1f mW (modeled, 28nm)\n", est.PowerMW)
-	fmt.Printf("energy/op:   %.2f pJ, EDP %.2f pJ*ns\n", est.EnergyPerOp, est.EDP)
-	fmt.Printf("reg traffic: %d reads, %d writes; memory %d reads, %d writes\n",
+	fmt.Fprintf(stdout, "workload:    %s, %d ops on %v\n", c.Graph.Name, c.Stats.Nodes, cfg.Normalize())
+	fmt.Fprintf(stdout, "verified:    %d outputs match the reference evaluator exactly\n", len(res.Outputs))
+	fmt.Fprintf(stdout, "cycles:      %d (%d instructions + pipeline drain)\n", res.Stats.Cycles, c.Stats.Instructions)
+	fmt.Fprintf(stdout, "throughput:  %.3f GOPS at %.0f MHz\n", est.ThroughputGOP, cfg.Normalize().ClockMHz)
+	fmt.Fprintf(stdout, "power:       %.1f mW (modeled, 28nm)\n", est.PowerMW)
+	fmt.Fprintf(stdout, "energy/op:   %.2f pJ, EDP %.2f pJ*ns\n", est.EnergyPerOp, est.EDP)
+	fmt.Fprintf(stdout, "reg traffic: %d reads, %d writes; memory %d reads, %d writes\n",
 		res.Stats.RegReads, res.Stats.RegWrites, res.Stats.MemReads, res.Stats.MemWrites)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -96,16 +96,23 @@ type BitWriter struct {
 	nbit int
 }
 
-// Put appends the low n bits of v.
+// Put appends the low n bits of v, byte-sized chunks at a time (the
+// packed streams of full-scale programs run to megabits, so the codec
+// is a measurable slice of artifact decode and program emit).
 func (bw *BitWriter) Put(v uint64, n int) {
-	for i := 0; i < n; i++ {
-		if bw.nbit%8 == 0 {
+	for n > 0 {
+		bit := bw.nbit & 7
+		if bit == 0 {
 			bw.buf = append(bw.buf, 0)
 		}
-		if v&(1<<uint(i)) != 0 {
-			bw.buf[bw.nbit/8] |= 1 << uint(bw.nbit%8)
+		take := 8 - bit
+		if take > n {
+			take = n
 		}
-		bw.nbit++
+		bw.buf[bw.nbit>>3] |= byte(v&(1<<take-1)) << bit
+		v >>= uint(take)
+		bw.nbit += take
+		n -= take
 	}
 }
 
@@ -142,17 +149,26 @@ func (br *BitReader) Seek(bit int) { br.pos = bit }
 // Pos returns the current bit offset.
 func (br *BitReader) Pos() int { return br.pos }
 
-// Take reads n bits.
+// Take reads n bits, byte-sized chunks at a time. Reading past the end
+// yields zeros and sets the overrun flag (see BitReader).
 func (br *BitReader) Take(n int) uint64 {
 	var v uint64
-	for i := 0; i < n; i++ {
-		byteIdx := br.pos / 8
+	got := 0
+	for got < n {
+		byteIdx := br.pos >> 3
 		if byteIdx >= len(br.buf) {
 			br.Overrun = true
-		} else if br.buf[byteIdx]&(1<<uint(br.pos%8)) != 0 {
-			v |= 1 << uint(i)
+			br.pos += n - got
+			break
 		}
-		br.pos++
+		bit := br.pos & 7
+		take := 8 - bit
+		if take > n-got {
+			take = n - got
+		}
+		v |= (uint64(br.buf[byteIdx]>>bit) & (1<<take - 1)) << got
+		br.pos += take
+		got += take
 	}
 	return v
 }
@@ -227,26 +243,31 @@ func Decode(br *BitReader, cfg Config, w Widths) (*Instr, error) {
 	switch k {
 	case KindNop:
 	case KindExec:
+		// One backing array per element type: a full-scale program decodes
+		// hundreds of thousands of exec instructions, and two allocations
+		// in place of six is a measurable slice of artifact decode.
+		bools := make([]bool, 3*cfg.B)
+		in.ReadEn = bools[:cfg.B:cfg.B]
+		in.ValidRst = bools[cfg.B : 2*cfg.B : 2*cfg.B]
+		in.WriteEn = bools[2*cfg.B:]
+		sels := make([]uint16, 3*cfg.B)
+		in.ReadAddr = sels[:cfg.B:cfg.B]
+		in.InputSel = sels[cfg.B : 2*cfg.B : 2*cfg.B]
+		in.WriteSel = sels[2*cfg.B:]
 		in.PEOps = make([]PEOp, cfg.NumPEs())
 		for i := range in.PEOps {
 			in.PEOps[i] = PEOp(br.Take(w.PEOp))
 		}
-		in.ReadEn = make([]bool, cfg.B)
-		in.ReadAddr = make([]uint16, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.ReadEn[b] = br.TakeBool()
 			in.ReadAddr[b] = uint16(br.Take(w.ReadAddr))
 		}
-		in.ValidRst = make([]bool, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.ValidRst[b] = br.TakeBool()
 		}
-		in.InputSel = make([]uint16, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.InputSel[b] = uint16(br.Take(w.BankSel))
 		}
-		in.WriteEn = make([]bool, cfg.B)
-		in.WriteSel = make([]uint16, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.WriteEn[b] = br.TakeBool()
 			in.WriteSel[b] = uint16(br.Take(w.WriteSel))
@@ -259,13 +280,14 @@ func Decode(br *BitReader, cfg Config, w Widths) (*Instr, error) {
 		}
 	case KindStore:
 		in.MemAddr = int(br.Take(w.MemAddr))
-		in.ReadEn = make([]bool, cfg.B)
+		bools := make([]bool, 2*cfg.B)
+		in.ReadEn = bools[:cfg.B:cfg.B]
+		in.ValidRst = bools[cfg.B:]
 		in.ReadAddr = make([]uint16, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.ReadEn[b] = br.TakeBool()
 			in.ReadAddr[b] = uint16(br.Take(w.ReadAddr))
 		}
-		in.ValidRst = make([]bool, cfg.B)
 		for b := 0; b < cfg.B; b++ {
 			in.ValidRst[b] = br.TakeBool()
 		}

@@ -100,6 +100,20 @@ func New(name string) *Graph { return &Graph{Name: name} }
 // NumNodes returns the number of nodes in the graph.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
+// Grow reserves arena capacity for n additional nodes, so bulk loaders
+// (deserializers, generators) avoid repeated reallocation of a
+// multi-million-node arena.
+func (g *Graph) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(g.nodes) - len(g.nodes); free < n {
+		nodes := make([]Node, len(g.nodes), len(g.nodes)+n)
+		copy(nodes, g.nodes)
+		g.nodes = nodes
+	}
+}
+
 // Node returns the node with the given id. The returned pointer stays
 // valid until the next Add* call.
 func (g *Graph) Node(id NodeID) *Node { return &g.nodes[id] }

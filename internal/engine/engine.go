@@ -15,6 +15,12 @@
 //   - batched execution fanning input sets out over the internal/par
 //     worker pool with per-item error capture;
 //
+//   - an optional persistent backing store of compiled-program
+//     artifacts (internal/artifact): a compile miss consults the store
+//     before compiling, a fresh compilation is persisted asynchronously,
+//     and Preload warm-starts the cache from the store at boot so a
+//     restarted server never compiles its resident population again;
+//
 //   - an atomically maintained Stats snapshot for observability.
 package engine
 
@@ -26,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/par"
@@ -43,6 +50,11 @@ type Options struct {
 	PoolSize int
 	// Workers sizes the ExecuteBatch worker pool. Default GOMAXPROCS.
 	Workers int
+	// Store, when non-nil, backs the compile cache with persisted
+	// artifacts: misses consult it before compiling, successful
+	// compilations are persisted to it asynchronously (Flush waits for
+	// them), and Preload fills the cache from it.
+	Store *artifact.Store
 }
 
 func (o Options) normalize() Options {
@@ -73,6 +85,18 @@ type Stats struct {
 	InFlight int64
 	// Executions counts completed successful executions.
 	Executions int64
+	// StoreHits counts compile misses answered by decoding a persisted
+	// artifact instead of compiling.
+	StoreHits int64
+	// StoreMisses counts compile misses the backing store could not
+	// answer (no artifact for the key).
+	StoreMisses int64
+	// StoreErrors counts failed store interactions: artifacts that would
+	// not decode and persists that failed. The engine degrades to
+	// compiling; the counter is how operators notice a damaged store.
+	StoreErrors int64
+	// Preloaded counts artifacts loaded into the cache by Preload.
+	Preloaded int64
 }
 
 // cacheKey is the content address of a compiled program. All fields are
@@ -128,6 +152,13 @@ type Engine struct {
 
 	inFlight   atomic.Int64
 	executions atomic.Int64
+
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	storeErrors atomic.Int64
+	preloaded   atomic.Int64
+	// persists tracks in-flight async artifact writes; Flush waits on it.
+	persists sync.WaitGroup
 }
 
 // New returns an engine with the given options.
@@ -153,6 +184,26 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 		e.moveToFront(ent)
 		e.mu.Unlock()
 		<-ent.done
+		// A program the engine compiled always satisfies this, but a
+		// preloaded artifact is only validated against its own content —
+		// a crafted remap shorter than the graph it claims to serve
+		// would index out of range on the serving hot path. Evict it
+		// (cache and store) so the next request recompiles cleanly.
+		if ent.err == nil && len(ent.c.Remap) != g.NumNodes() {
+			// Only the waiter that actually evicts the entry purges the
+			// store file: a late waiter running after a retry has already
+			// recompiled and re-persisted the key must not delete the
+			// fresh artifact (nothing would re-persist it until the good
+			// entry leaves the cache).
+			if e.dropEntry(k, ent) {
+				e.storeErrors.Add(1)
+				if st := e.opts.Store; st != nil {
+					st.Remove(artifact.Key{Fingerprint: k.fp, Config: k.cfg, Options: k.opts})
+				}
+			}
+			return nil, fmt.Errorf("engine: cached program for %s maps %d nodes, graph has %d (poisoned artifact evicted; retry recompiles)",
+				k.fp.Short(), len(ent.c.Remap), g.NumNodes())
+		}
 		return ent.c, ent.err
 	}
 	e.misses++
@@ -162,16 +213,7 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	e.evictLocked()
 	e.mu.Unlock()
 
-	// A binary graph would be carried by the Compiled as-is (non-binary
-	// graphs are binarized into a fresh one), aliasing the caller's
-	// mutable object into the cache; compile a private clone so a caller
-	// mutating its graph afterwards cannot corrupt cached programs other
-	// requests share. O(n) on a miss only, amortized by the cache.
-	cg := g
-	if g.IsBinary() {
-		cg = g.Clone()
-	}
-	c, err := compiler.Compile(cg, k.cfg, opts)
+	c, err := e.resolveMiss(g, k)
 	e.mu.Lock()
 	ent.c, ent.err = c, err
 	if err != nil && e.entries[k] == ent {
@@ -184,6 +226,117 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	e.evictLocked()
 	e.mu.Unlock()
 	return c, err
+}
+
+// resolveMiss produces the compiled program for a cache miss: a backing
+// store is consulted first (a decoded artifact is bit-identical to a
+// fresh compilation and much cheaper); otherwise the graph is compiled
+// and, on success, persisted to the store off the request path.
+func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, error) {
+	if st := e.opts.Store; st != nil {
+		key := artifact.Key{Fingerprint: k.fp, Config: k.cfg, Options: k.opts}
+		switch a, err := st.Get(key); {
+		case err == nil && len(a.Compiled.Remap) == g.NumNodes():
+			e.storeHits.Add(1)
+			return a.Compiled, nil
+		case err == nil:
+			// Internally consistent artifact, but its remap does not fit
+			// the graph being served — crafted or foreign content at this
+			// key. Purge it and compile; the persist below replaces it.
+			e.storeErrors.Add(1)
+			st.Remove(key)
+		case errors.Is(err, artifact.ErrNotFound):
+			e.storeMisses.Add(1)
+		default:
+			// A damaged artifact is not fatal — recompile. StoreErrors
+			// alone tracks it (StoreMisses means "no artifact for the
+			// key", and the store evicts the corpse so the recompile's
+			// persist can land).
+			e.storeErrors.Add(1)
+		}
+	}
+	// A binary graph would be carried by the Compiled as-is (non-binary
+	// graphs are binarized into a fresh one), aliasing the caller's
+	// mutable object into the cache; compile a private clone so a caller
+	// mutating its graph afterwards cannot corrupt cached programs other
+	// requests share. O(n) on a miss only, amortized by the cache.
+	cg := g
+	if g.IsBinary() {
+		cg = g.Clone()
+	}
+	c, err := compiler.Compile(cg, k.cfg, k.opts)
+	if err == nil && e.opts.Store != nil {
+		a := &artifact.Artifact{Fingerprint: k.fp, Options: k.opts, Compiled: c}
+		e.persists.Add(1)
+		go func() {
+			defer e.persists.Done()
+			if perr := e.opts.Store.Put(a); perr != nil {
+				e.storeErrors.Add(1)
+			}
+		}()
+	}
+	return c, err
+}
+
+// Preload decodes artifacts from the backing store into the compile
+// cache — the warm-start step a server runs at boot so its first
+// requests are cache hits, not compilations. It stops once the cache
+// is full: decoding a 10,000-artifact store into a 256-entry cache
+// would pay the whole decode bill only to evict immediately, and the
+// reported count would lie about what is resident. Artifacts that fail
+// to decode are skipped (and counted in Stats.StoreErrors); n reports
+// how many programs were actually cached. Without a store, Preload is
+// a no-op.
+func (e *Engine) Preload() (n int, err error) {
+	st := e.opts.Store
+	if st == nil {
+		return 0, nil
+	}
+	werr := st.Walk(func(path string, a *artifact.Artifact, derr error) bool {
+		if derr != nil {
+			// Another binary's format version is a legitimate neighbor in
+			// a shared store (mixed-version fleet), not damage; only real
+			// corruption feeds the operator-facing error counter.
+			if !errors.Is(derr, artifact.ErrVersion) {
+				e.storeErrors.Add(1)
+			}
+			return true
+		}
+		k := cacheKey{fp: a.Fingerprint, cfg: a.Compiled.Prog.Cfg, opts: a.Options}
+		e.mu.Lock()
+		full := len(e.entries) >= e.opts.CacheSize
+		if _, ok := e.entries[k]; !ok && !full {
+			ent := &entry{key: k, done: make(chan struct{}), c: a.Compiled}
+			close(ent.done)
+			e.entries[k] = ent
+			e.pushFront(ent)
+			n++
+			e.preloaded.Add(1)
+			full = len(e.entries) >= e.opts.CacheSize
+		}
+		e.mu.Unlock()
+		return !full
+	})
+	return n, werr
+}
+
+// Flush waits for every asynchronous artifact persist started so far.
+// Servers call it on shutdown so a drained process leaves a complete
+// store behind; tests call it before asserting store contents.
+func (e *Engine) Flush() { e.persists.Wait() }
+
+// dropEntry removes a completed entry from the cache if it is still the
+// resident one for k, reporting whether this caller won the removal
+// (concurrent droppers of the same entry get false).
+func (e *Engine) dropEntry(k cacheKey, ent *entry) bool {
+	e.mu.Lock()
+	won := e.entries[k] == ent
+	if won {
+		delete(e.entries, k)
+		e.unlink(ent)
+	}
+	e.mu.Unlock()
+	return won
 }
 
 // moveToFront marks ent most recently used. Caller holds e.mu.
@@ -449,5 +602,9 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	s.InFlight = e.inFlight.Load()
 	s.Executions = e.executions.Load()
+	s.StoreHits = e.storeHits.Load()
+	s.StoreMisses = e.storeMisses.Load()
+	s.StoreErrors = e.storeErrors.Load()
+	s.Preloaded = e.preloaded.Load()
 	return s
 }

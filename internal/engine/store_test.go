@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/sim"
+)
+
+func openStore(t *testing.T) *artifact.Store {
+	t.Helper()
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreBackedCompilePersistsAndRehydrates: a compile miss persists
+// an artifact; a second engine sharing the store answers the same miss
+// by decoding instead of compiling, bit-exactly.
+func TestStoreBackedCompilePersistsAndRehydrates(t *testing.T) {
+	st := openStore(t)
+	g := testGraph(1)
+	opts := compiler.Options{Seed: 3}
+
+	e1 := New(Options{Store: st})
+	c1, err := e1.Compile(g, testCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Flush()
+	s1 := e1.Stats()
+	if s1.StoreMisses != 1 || s1.StoreHits != 0 {
+		t.Fatalf("first engine: store hits/misses = %d/%d, want 0/1", s1.StoreHits, s1.StoreMisses)
+	}
+	if n, err := st.Len(); err != nil || n != 1 {
+		t.Fatalf("store holds %d artifacts (%v), want 1", n, err)
+	}
+
+	e2 := New(Options{Store: st})
+	c2, err := e2.Compile(g, testCfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.Stats()
+	if s2.StoreHits != 1 || s2.StoreMisses != 0 {
+		t.Fatalf("second engine: store hits/misses = %d/%d, want 1/0", s2.StoreHits, s2.StoreMisses)
+	}
+	if s2.StoreErrors != 0 {
+		t.Fatalf("store errors: %d", s2.StoreErrors)
+	}
+	// The rehydrated program is the same program: identical packed
+	// stream, identical memory image, identical execution.
+	if got, want := fmt.Sprintf("%x", c2.Prog.Pack()), fmt.Sprintf("%x", c1.Prog.Pack()); got != want {
+		t.Error("decoded program's packed stream differs from the compiled one")
+	}
+	inputs := testInputs(g, 1.25)
+	r1, err := e1.ExecuteCompiled(c1, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.ExecuteCompiled(c2, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sink, v := range r1.Outputs {
+		if r2.Outputs[sink] != v {
+			t.Errorf("sink %d: decoded %v, compiled %v", sink, r2.Outputs[sink], v)
+		}
+	}
+	if err := sim.CheckOutputs(c2, inputs, r2, 0); err != nil {
+		t.Errorf("decoded program vs reference evaluator: %v", err)
+	}
+}
+
+// TestPreloadWarmStart: Preload fills the cache from the store, so a
+// restarted engine's first Compile is a pure cache hit — zero compile
+// misses, which is the warm-start acceptance criterion.
+func TestPreloadWarmStart(t *testing.T) {
+	st := openStore(t)
+	const graphs = 5
+	e1 := New(Options{Store: st})
+	for i := 0; i < graphs; i++ {
+		if _, err := e1.Compile(testGraph(int64(i)), testCfg, compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1.Flush()
+
+	// "Restart": a fresh engine over the same directory.
+	e2 := New(Options{Store: st})
+	n, err := e2.Preload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != graphs {
+		t.Fatalf("preloaded %d artifacts, want %d", n, graphs)
+	}
+	if s := e2.Stats(); s.Preloaded != graphs || s.Cached != graphs {
+		t.Fatalf("stats after preload: %+v", s)
+	}
+	// Preloading again is idempotent.
+	if n, err := e2.Preload(); err != nil || n != 0 {
+		t.Fatalf("second preload loaded %d (%v), want 0", n, err)
+	}
+	for i := 0; i < graphs; i++ {
+		g := testGraph(int64(i))
+		c, err := e2.Compile(g, testCfg, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs := testInputs(g, 0.75)
+		res, err := e2.ExecuteCompiled(c, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.CheckOutputs(c, inputs, res, 0); err != nil {
+			t.Errorf("graph %d after warm start: %v", i, err)
+		}
+	}
+	s := e2.Stats()
+	if s.Misses != 0 {
+		t.Errorf("warm-started engine compiled %d times, want 0", s.Misses)
+	}
+	if s.Hits != graphs {
+		t.Errorf("hits = %d, want %d", s.Hits, graphs)
+	}
+}
+
+// TestPreloadRespectsCacheBound: preloading from a store larger than
+// the cache stops at the bound — no wasted decodes, and the reported
+// count matches what is actually resident.
+func TestPreloadRespectsCacheBound(t *testing.T) {
+	st := openStore(t)
+	e1 := New(Options{Store: st})
+	for i := 0; i < 6; i++ {
+		if _, err := e1.Compile(testGraph(int64(i)), testCfg, compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e1.Flush()
+	e2 := New(Options{Store: st, CacheSize: 3})
+	n, err := e2.Preload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Preload returned %d, want the CacheSize bound 3", n)
+	}
+	s := e2.Stats()
+	if s.Cached != 3 {
+		t.Errorf("cached = %d, want the CacheSize bound 3", s.Cached)
+	}
+	if s.Preloaded != 3 {
+		t.Errorf("preloaded = %d, want 3 (walk stops at the bound)", s.Preloaded)
+	}
+}
+
+// TestPreloadToleratesOtherFormatVersions: a shared store may hold
+// artifacts written by binaries with a newer format; a warm-starting
+// engine skips them without raising the damage counter (they are valid,
+// just not ours) and still loads everything it can read.
+func TestPreloadToleratesOtherFormatVersions(t *testing.T) {
+	st := openStore(t)
+	e1 := New(Options{Store: st})
+	if _, err := e1.Compile(testGraph(1), testCfg, compiler.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	e1.Flush()
+	// Re-stamp a copy of the artifact as format v2 under another name.
+	var src string
+	st.Walk(func(p string, a *artifact.Artifact, err error) bool { src = p; return false })
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append([]byte(nil), b...)
+	b[8], b[9] = 2, 0
+	if err := os.WriteFile(filepath.Join(st.Dir(), "future"+artifact.Ext), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Options{Store: st})
+	n, err := e2.Preload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("preloaded %d, want 1 (the readable artifact)", n)
+	}
+	if s := e2.Stats(); s.StoreErrors != 0 {
+		t.Errorf("a future-version neighbor raised the damage counter: %+v", s)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "future"+artifact.Ext)); err != nil {
+		t.Error("preload removed the future-version artifact")
+	}
+}
+
+// TestCorruptArtifactFallsBackToCompile: a damaged store never breaks
+// serving — the engine recompiles and counts the error.
+func TestCorruptArtifactFallsBackToCompile(t *testing.T) {
+	st := openStore(t)
+	g := testGraph(9)
+	key := artifact.KeyFor(g.Fingerprint(), testCfg, compiler.Options{})
+	// Plant garbage at exactly the address the engine will probe.
+	if err := os.WriteFile(filepath.Join(st.Dir(), key.ID()+artifact.Ext), []byte("rotten bits"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Store: st})
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.StoreErrors != 1 {
+		t.Errorf("store errors = %d, want 1", s.StoreErrors)
+	}
+	inputs := testInputs(g, 1.5)
+	res, err := e.ExecuteCompiled(c, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckOutputs(c, inputs, res, 0); err != nil {
+		t.Errorf("fallback compile: %v", err)
+	}
+	// The store self-heals: the bad file was evicted on read and the
+	// fallback compilation's persist replaced it, so the *next* restart
+	// decodes instead of compiling again.
+	e.Flush()
+	if a, err := st.Get(key); err != nil {
+		t.Errorf("store did not heal after the fallback compile: %v", err)
+	} else if a.Fingerprint != g.Fingerprint() {
+		t.Error("healed artifact carries the wrong fingerprint")
+	}
+}
+
+// poisonedArtifact builds an internally consistent artifact whose remap
+// is one entry short of the graph it claims to serve — the shape that
+// would index out of range on the serving hot path if trusted.
+func poisonedArtifact(t *testing.T, g *dag.Graph) *artifact.Artifact {
+	t.Helper()
+	c, err := compiler.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remap = c.Remap[:len(c.Remap)-1]
+	return &artifact.Artifact{Fingerprint: g.Fingerprint(), Options: compiler.Options{}.Normalized(), Compiled: c}
+}
+
+// TestPoisonedRemapRejectedOnStoreHit: an artifact whose remap does not
+// fit the request graph is purged and transparently recompiled on the
+// miss path — never served, never a panic.
+func TestPoisonedRemapRejectedOnStoreHit(t *testing.T) {
+	st := openStore(t)
+	g := testGraph(21)
+	if err := st.Put(poisonedArtifact(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Store: st})
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatalf("poisoned store broke compilation: %v", err)
+	}
+	if len(c.Remap) != g.NumNodes() {
+		t.Fatalf("served remap has %d entries for a %d-node graph", len(c.Remap), g.NumNodes())
+	}
+	if s := e.Stats(); s.StoreErrors != 1 || s.StoreHits != 0 {
+		t.Errorf("stats: %+v, want 1 store error and no store hit", s)
+	}
+	// The recompile's persist healed the key.
+	e.Flush()
+	key := artifact.KeyFor(g.Fingerprint(), testCfg, compiler.Options{})
+	if a, err := st.Get(key); err != nil {
+		t.Errorf("store did not heal: %v", err)
+	} else if len(a.Compiled.Remap) != g.NumNodes() {
+		t.Error("healed artifact still carries the short remap")
+	}
+}
+
+// TestPoisonedRemapRejectedAfterPreload: Preload cannot check a remap
+// (it has no request graph), so the cache-hit path must — a typed
+// error, eviction from cache and store, and a clean recompile on retry
+// instead of an index-out-of-range panic mid-request.
+func TestPoisonedRemapRejectedAfterPreload(t *testing.T) {
+	st := openStore(t)
+	g := testGraph(22)
+	if err := st.Put(poisonedArtifact(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Store: st})
+	if n, err := e.Preload(); err != nil || n != 1 {
+		t.Fatalf("preload: %d, %v", n, err)
+	}
+	if _, err := e.Compile(g, testCfg, compiler.Options{}); err == nil {
+		t.Fatal("poisoned preloaded artifact was served")
+	}
+	if s := e.Stats(); s.StoreErrors != 1 {
+		t.Errorf("store errors = %d, want 1", s.StoreErrors)
+	}
+	// Retry: the entry and file are gone, so this is a clean compile.
+	c, err := e.Compile(g, testCfg, compiler.Options{})
+	if err != nil {
+		t.Fatalf("retry after eviction: %v", err)
+	}
+	if len(c.Remap) != g.NumNodes() {
+		t.Errorf("retry served remap of %d entries for %d nodes", len(c.Remap), g.NumNodes())
+	}
+	inputs := testInputs(g, 2)
+	res, err := e.ExecuteCompiled(c, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckOutputs(c, inputs, res, 0); err != nil {
+		t.Errorf("recovered program vs reference: %v", err)
+	}
+}
+
+// TestPoisonedRemapConcurrentWaitersHealOnce: many goroutines hitting
+// the same poisoned preloaded entry must leave the store healed — only
+// the waiter that evicts the entry purges the file, so a late waiter
+// cannot delete the artifact a retry has already re-persisted.
+func TestPoisonedRemapConcurrentWaitersHealOnce(t *testing.T) {
+	st := openStore(t)
+	g := testGraph(23)
+	if err := st.Put(poisonedArtifact(t, g)); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Store: st})
+	if n, err := e.Preload(); err != nil || n != 1 {
+		t.Fatalf("preload: %d, %v", n, err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// First call may fail on the poisoned entry; retry must
+			// succeed with a correct remap.
+			for attempt := 0; attempt < 2; attempt++ {
+				c, err := e.Compile(g, testCfg, compiler.Options{})
+				if err != nil {
+					continue
+				}
+				if len(c.Remap) != g.NumNodes() {
+					t.Errorf("served remap of %d entries for %d nodes", len(c.Remap), g.NumNodes())
+				}
+				return
+			}
+			t.Error("compile did not recover after the poisoned entry was evicted")
+		}()
+	}
+	wg.Wait()
+	e.Flush()
+	key := artifact.KeyFor(g.Fingerprint(), testCfg, compiler.Options{})
+	if a, err := st.Get(key); err != nil {
+		t.Errorf("store not healed after concurrent waiters: %v", err)
+	} else if len(a.Compiled.Remap) != g.NumNodes() {
+		t.Error("healed artifact still short")
+	}
+}
+
+// TestStoreRaceOneArtifactPerKey is the -race satellite: many
+// goroutines across several engines miss on the same population of
+// graphs against one shared store; when the dust settles the store
+// holds exactly one artifact per key and every artifact decodes.
+func TestStoreRaceOneArtifactPerKey(t *testing.T) {
+	st := openStore(t)
+	const (
+		engines    = 3
+		goroutines = 8
+		graphs     = 6
+	)
+	engs := make([]*Engine, engines)
+	for i := range engs {
+		engs[i] = New(Options{Store: st})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < graphs; i++ {
+				g := testGraph(int64(i))
+				e := engs[(w+i)%engines]
+				c, err := e.Compile(g, testCfg, compiler.Options{})
+				if err != nil {
+					t.Errorf("compile: %v", err)
+					return
+				}
+				inputs := testInputs(g, float64(w+1))
+				res, err := e.ExecuteCompiled(c, inputs)
+				if err != nil {
+					t.Errorf("execute: %v", err)
+					return
+				}
+				if err := sim.CheckOutputs(c, inputs, res, 0); err != nil {
+					t.Errorf("goroutine %d graph %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range engs {
+		e.Flush()
+	}
+	if n, err := st.Len(); err != nil || n != graphs {
+		t.Fatalf("store holds %d artifacts (%v), want exactly %d — one per key", n, err, graphs)
+	}
+	bad := 0
+	st.Walk(func(path string, a *artifact.Artifact, err error) bool {
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			bad++
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Fatalf("%d artifacts do not decode", bad)
+	}
+}
+
+// TestStoreRacePreloadDuringPersist is the torn-read half of the -race
+// satellite: warm-start preloads run concurrently with engines still
+// persisting fresh compilations. Atomic rename-on-write means a
+// preloader must only ever see complete artifacts — zero decode errors
+// — and everything it loads must execute.
+func TestStoreRacePreloadDuringPersist(t *testing.T) {
+	st := openStore(t)
+	writer := New(Options{Store: st})
+	const graphs = 10
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < graphs; i++ {
+			if _, err := writer.Compile(testGraph(int64(100+i)), testCfg, compiler.Options{}); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	var loaded int
+	for round := 0; round < 20; round++ {
+		reader := New(Options{Store: st})
+		n, err := reader.Preload()
+		if err != nil {
+			t.Fatalf("preload round %d: %v", round, err)
+		}
+		if s := reader.Stats(); s.StoreErrors != 0 {
+			t.Fatalf("preload round %d observed %d torn/corrupt artifacts", round, s.StoreErrors)
+		}
+		loaded = n
+	}
+	wg.Wait()
+	writer.Flush()
+	final := New(Options{Store: st})
+	n, err := final.Preload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != graphs {
+		t.Errorf("final preload loaded %d, want %d (last mid-flight round saw %d)", n, graphs, loaded)
+	}
+}

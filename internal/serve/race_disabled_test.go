@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation skews wall-time ratios; timing
+// assertions skip themselves under it.
+const raceEnabled = false

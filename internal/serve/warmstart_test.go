@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/engine"
+	"dpuv2/internal/pc"
+	"dpuv2/internal/sched"
+)
+
+// warmGraph is the fig.-scale PC serving workload (the same mid-size
+// circuit the engine benchmarks use), rendered to the node-list text a
+// client would POST, so the warm-start path is exercised with the exact
+// fingerprint a request produces.
+func warmGraph(t testing.TB) (*dag.Graph, string, []float64) {
+	t.Helper()
+	g := pc.Build(pc.Suite()[1], 0.5)
+	var buf bytes.Buffer
+	if err := dag.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// Re-read: the graph a request carries is the parsed form of the
+	// text, and its fingerprint is what the serving engine keys on.
+	rg, err := dag.Read(strings.NewReader(buf.String()), "request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]float64, len(rg.Inputs()))
+	for i := range inputs {
+		inputs[i] = 0.5
+	}
+	return rg, buf.String(), inputs
+}
+
+// populateStore compiles the workload once and persists it — the
+// offline `dpu-compile` step of the deployment story.
+func populateStore(t testing.TB, st *artifact.Store, g *dag.Graph, cfg arch.Config) *compiler.Compiled {
+	t.Helper()
+	c, err := compiler.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &artifact.Artifact{Fingerprint: g.Fingerprint(), Options: compiler.Options{}.Normalized(), Compiled: c}
+	if err := st.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeWarmStartNoCompileOnHotPath is the acceptance test for the
+// warm-start flow: with a preloaded artifact store, the first request a
+// restarted server sees is answered without a single compilation —
+// engine compile count 0, pure cache hit.
+func TestServeWarmStartNoCompileOnHotPath(t *testing.T) {
+	g, text, inputs := warmGraph(t)
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := populateStore(t, st, g, arch.MinEDP())
+
+	// "Restart": a fresh engine + server over the artifact directory.
+	eng := engine.New(engine.Options{Store: st})
+	if n, err := eng.Preload(); err != nil || n != 1 {
+		t.Fatalf("preload: %d artifacts, err %v", n, err)
+	}
+	srv := New(eng, Options{Sched: sched.Options{MaxBatch: 8, Linger: 200 * time.Microsecond}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	body, _ := json.Marshal(ExecuteRequest{Graph: text, Inputs: [][]float64{inputs}})
+	resp, err := http.Post(ts.URL+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request after warm start: status %d", resp.StatusCode)
+	}
+	var out ExecuteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Error != "" {
+		t.Fatalf("results: %+v", out.Results)
+	}
+	// Bit-exact against the reference evaluator on the binarized graph
+	// the program executes (the k-ary request graph's sinks map through
+	// Remap; evaluating the k-ary form would differ in association
+	// order, i.e. in final ulps).
+	want, err := dag.Eval(c.Graph, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sink := range g.Outputs() {
+		if got := out.Results[0].Outputs[i]; got != want[c.Remap[sink]] {
+			t.Errorf("sink %d: warm-started output %v, reference %v", sink, got, want[c.Remap[sink]])
+		}
+	}
+
+	s := eng.Stats()
+	if s.Misses != 0 {
+		t.Errorf("the hot path compiled: misses = %d, want 0", s.Misses)
+	}
+	if s.Hits == 0 {
+		t.Error("no cache hit recorded for the warm-started program")
+	}
+	if s.Preloaded != 1 {
+		t.Errorf("preloaded = %d, want 1", s.Preloaded)
+	}
+}
+
+// TestWarmStartDecodeFasterThanCompile pins the acceptance ratio:
+// rehydrating the fig.-scale PC workload from the store must be at
+// least 5x faster than compiling it cold — otherwise a persistent
+// store would not be pulling its weight and the PR's premise fails.
+func TestWarmStartDecodeFasterThanCompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-time measurement")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the compile/decode ratio")
+	}
+	g, _, _ := warmGraph(t)
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	populateStore(t, st, g, arch.MinEDP())
+	key := artifact.KeyFor(g.Fingerprint(), arch.MinEDP(), compiler.Options{})
+
+	measure := func(n int, f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	compile := measure(3, func() {
+		if _, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	decode := measure(5, func() {
+		if _, err := st.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("cold compile %v, store decode %v (%.1fx)", compile, decode, float64(compile)/float64(decode))
+	if decode*5 > compile {
+		t.Errorf("decode-from-store (%v) is not ≥5x faster than a cold compile (%v)", decode, compile)
+	}
+}
+
+// BenchmarkServeWarmStart quantifies the artifact story on the
+// fig.-scale PC workload:
+//
+//	first-request     — full HTTP request against a freshly warm-started
+//	                    server (preload untimed); the engine never
+//	                    compiles (asserted).
+//	decode-from-store — store lookup + decode alone.
+//	cold-compile      — what the same miss costs without a store.
+func BenchmarkServeWarmStart(b *testing.B) {
+	g, text, inputs := warmGraph(b)
+	dir := b.TempDir()
+	st, err := artifact.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	populateStore(b, st, g, arch.MinEDP())
+	key := artifact.KeyFor(g.Fingerprint(), arch.MinEDP(), compiler.Options{})
+	body, _ := json.Marshal(ExecuteRequest{Graph: text, Inputs: [][]float64{inputs}})
+
+	b.Run("first-request", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := engine.New(engine.Options{Store: st})
+			if n, err := eng.Preload(); err != nil || n != 1 {
+				b.Fatalf("preload: %d, %v", n, err)
+			}
+			srv := New(eng, Options{Sched: sched.Options{MaxBatch: 8, Linger: 0}})
+			b.StartTimer()
+
+			req := httptest.NewRequest(http.MethodPost, "/execute", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, req)
+
+			b.StopTimer()
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+			if s := eng.Stats(); s.Misses != 0 {
+				b.Fatalf("first request compiled: misses = %d", s.Misses)
+			}
+			srv.Drain()
+			b.StartTimer()
+		}
+	})
+	b.Run("decode-from-store", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Get(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compiler.Compile(g, arch.MinEDP(), compiler.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
