@@ -28,29 +28,8 @@ import (
 	"dpuv2/internal/artifact"
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
-	"dpuv2/internal/pc"
-	"dpuv2/internal/sptrsv"
+	"dpuv2/internal/suite"
 )
-
-func buildWorkload(name string, scale float64) (*dag.Graph, error) {
-	for _, s := range pc.Suite() {
-		if s.Name == name {
-			return pc.Build(s, scale), nil
-		}
-	}
-	for _, s := range pc.LargeSuite() {
-		if s.Name == name {
-			return pc.Build(s, scale), nil
-		}
-	}
-	for _, s := range sptrsv.Suite() {
-		if s.Name == name {
-			g, _ := sptrsv.Build(s, scale)
-			return g, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown workload %q (see Table I of the paper)", name)
-}
 
 // run is the testable body of the command: parse args, compile, report,
 // emit. It returns the process exit code.
@@ -85,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		g, err = dag.Read(f, *in)
 		f.Close()
 	} else {
-		g, err = buildWorkload(*workload, *scale)
+		g, err = suite.Build(*workload, *scale)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)

@@ -1,11 +1,16 @@
 // Command dpu-dse runs the full design-space exploration of §V over the
 // benchmark suites and reports the min-latency, min-energy and min-EDP
-// configurations (fig. 11/12).
+// configurations (fig. 11/12). -timeout bounds the sweep's wall time:
+// points the budget did not reach are reported as skipped, and the
+// min-* winners are chosen over what was evaluated (the same partial-
+// result contract the autotuner uses).
 //
-//	dpu-dse -scale 0.25
+//	dpu-dse -scale 0.25 [-timeout 2m]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,7 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "workload scale vs Table I sizes")
 	seed := flag.Int64("seed", 0, "compiler randomization seed")
 	workers := flag.Int("workers", 0, "sweep worker count (0: one per CPU)")
+	timeout := flag.Duration("timeout", 0, "wall-clock sweep budget (0: none); unreached points are skipped")
 	flag.Parse()
 
 	var suite []*dag.Graph
@@ -38,15 +44,28 @@ func main() {
 	}
 	fmt.Printf("sweeping %d configurations over %d workloads (scale %.2f, %d workers)\n",
 		len(dse.Grid()), len(suite), *scale, nw)
-	points := dse.SweepParallel(suite, dse.Grid(), compiler.Options{Seed: *seed}, nw)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	points := dse.SweepContext(ctx, suite, dse.Grid(), compiler.Options{Seed: *seed}, nw)
 	fmt.Printf("%-24s %10s %10s %12s %9s\n", "config", "lat(ns)", "E(pJ)", "EDP(pJ*ns)", "area(mm2)")
+	skipped := 0
 	for _, p := range points {
-		if !p.Feasible {
+		switch {
+		case p.Feasible:
+			fmt.Printf("%-24s %10.3f %10.2f %12.2f %9.2f\n",
+				p.Cfg.String(), p.LatencyPerOp, p.EnergyPerOp, p.EDP, p.AreaMM2)
+		case errors.Is(p.Err, context.DeadlineExceeded) || errors.Is(p.Err, context.Canceled):
+			skipped++
+		default:
 			fmt.Printf("%-24s infeasible: %v\n", p.Cfg.String(), p.Err)
-			continue
 		}
-		fmt.Printf("%-24s %10.3f %10.2f %12.2f %9.2f\n",
-			p.Cfg.String(), p.LatencyPerOp, p.EnergyPerOp, p.EDP, p.AreaMM2)
+	}
+	if skipped > 0 {
+		fmt.Printf("%d of %d points skipped: sweep budget %v expired\n", skipped, len(points), *timeout)
 	}
 	report := func(name string, m dse.Metric, paper string) {
 		if p, ok := dse.Best(points, m); ok {

@@ -35,6 +35,25 @@
 // the server fill it. /stats reports store hits/misses/preloads under
 // "engine".
 //
+// -autotune closes the loop from the paper's design-space exploration to
+// the serving path: each graph fingerprint is served on the hardware
+// configuration the DSE says is best for it. Decisions come from
+// `.dputune` records in -artifact-dir (produced offline by `dpu-tune
+// -store <dir>` and preloaded at boot) or, for fingerprints with no
+// stored decision, from an in-process background tune bounded by
+// -tune-budget: the first requests run on the submitted config while the
+// sweep runs off the request path, then traffic atomically switches to
+// the winner (which is also persisted, with its pre-compiled program,
+// for the next restart). A tuned config must beat the config it was
+// tuned against (the one submitted at first sight) by ≥1% on
+// -tune-metric or the decision pins that default — relative to it,
+// autotuning never makes the workload slower. A decision is per graph
+// fingerprint and overrides the config of every later request for that
+// graph; clients that need their exact config honored should be served
+// without -autotune. /stats reports the decision table,
+// tuned hits and in-flight tunes under "tune", and per-config machine
+// pools under "engine".
+//
 // Example:
 //
 //	dpu-serve -addr :8080 -cache 256 -max-batch 32 -linger 500us \
@@ -55,9 +74,11 @@ import (
 	"time"
 
 	"dpuv2/internal/artifact"
+	"dpuv2/internal/dse"
 	"dpuv2/internal/engine"
 	"dpuv2/internal/sched"
 	"dpuv2/internal/serve"
+	"dpuv2/internal/tune"
 )
 
 func main() {
@@ -70,7 +91,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4096, "admitted-but-unfinished executions before 429s")
 	maxInputs := flag.Int("max-inputs", 1024, "input vectors allowed per request before 413s")
 	unbatched := flag.Bool("unbatched", false, "bypass the batching scheduler (PR 2 behavior)")
-	artifactDir := flag.String("artifact-dir", "", "persistent compiled-program store: preload .dpuprog artifacts at boot, persist new compilations")
+	artifactDir := flag.String("artifact-dir", "", "persistent compiled-program store: preload .dpuprog artifacts and .dputune decisions at boot, persist new ones")
+	autotune := flag.Bool("autotune", false, "serve each graph fingerprint on its tuned config (stored .dputune decisions; unseen fingerprints tune in the background)")
+	tuneBudget := flag.Duration("tune-budget", 30*time.Second, "wall-clock budget per background tune (with -autotune)")
+	tuneMetric := flag.String("tune-metric", "latency", "background-tune optimization target: latency, energy or edp")
 	flag.Parse()
 
 	var store *artifact.Store
@@ -80,16 +104,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool, Store: store})
+	var tuner engine.Tuner
+	if *autotune {
+		var metric dse.Metric
+		if err := metric.ParseMetric(*tuneMetric); err != nil {
+			log.Fatal(err)
+		}
+		tuner = tune.New(tune.Options{Metric: metric, Budget: *tuneBudget})
+	}
+	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool,
+		Store: store, AutoTune: *autotune, Tuner: tuner})
 	if store != nil {
 		n, err := eng.Preload()
 		if err != nil {
 			log.Fatalf("dpu-serve: warm-start: %v", err)
 		}
-		if s := eng.Stats(); s.StoreErrors > 0 {
+		s := eng.Stats()
+		if s.StoreErrors > 0 {
 			log.Printf("dpu-serve: warm-start skipped %d undecodable artifacts in %s", s.StoreErrors, *artifactDir)
 		}
-		log.Printf("dpu-serve: warm-started %d compiled programs from %s", n, *artifactDir)
+		log.Printf("dpu-serve: warm-started %d compiled programs and %d tuning decisions from %s", n, s.StoreTuned, *artifactDir)
 	}
 	srv := serve.New(eng, serve.Options{
 		Sched: sched.Options{
@@ -108,8 +142,9 @@ func main() {
 	go func() {
 		sig := <-sigc
 		log.Printf("dpu-serve: %v, draining", sig)
-		srv.Drain() // in-flight requests finish; new ones get 503
-		eng.Flush() // async artifact persists land before exit
+		srv.Drain()     // in-flight requests finish; new ones get 503
+		eng.WaitTunes() // background tunes publish (and persist) their decisions
+		eng.Flush()     // async artifact persists land before exit
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

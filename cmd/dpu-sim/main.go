@@ -22,27 +22,10 @@ import (
 	"dpuv2/internal/arch"
 	"dpuv2/internal/artifact"
 	"dpuv2/internal/compiler"
-	"dpuv2/internal/dag"
 	"dpuv2/internal/energy"
-	"dpuv2/internal/pc"
 	"dpuv2/internal/sim"
-	"dpuv2/internal/sptrsv"
+	"dpuv2/internal/suite"
 )
-
-func buildWorkload(name string, scale float64) (*dag.Graph, error) {
-	for _, s := range pc.Suite() {
-		if s.Name == name {
-			return pc.Build(s, scale), nil
-		}
-	}
-	for _, s := range sptrsv.Suite() {
-		if s.Name == name {
-			g, _ := sptrsv.Build(s, scale)
-			return g, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown workload %q", name)
-}
 
 // run is the testable body of the command; it returns the exit code.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -95,7 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "artifact:    %s (fingerprint %s, format v%d)\n",
 			*artifactPath, a.Fingerprint.Short(), artifact.Version)
 	} else {
-		g, err := buildWorkload(*workload, *scale)
+		g, err := suite.Build(*workload, *scale)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1

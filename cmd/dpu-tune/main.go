@@ -1,0 +1,232 @@
+// Command dpu-tune runs the offline half of the autotuning loop: it
+// sweeps a workload over the candidate configuration grid (the paper's
+// 48-point design space by default), picks the configuration that
+// minimizes the chosen metric, and emits a versioned `.dputune` decision
+// — optionally persisted, together with the pre-compiled tuned program,
+// into an artifact store that `dpu-serve -autotune -artifact-dir` then
+// serves from with zero in-process tuning.
+//
+//	# Tune a Table I workload for latency under a 30s budget and stage
+//	# the decision + tuned artifact for the server:
+//	dpu-tune -workload tretail -scale 0.02 -metric latency \
+//	         -budget 30s -store /var/lib/dpu/artifacts
+//
+//	# Then serve it — the first request runs on the tuned config:
+//	dpu-serve -autotune -artifact-dir /var/lib/dpu/artifacts
+//
+// The workload can also come from a DAG file (-in, internal/dag text
+// format); -dump-graph writes the tuned workload back out in that
+// format, so a client can submit the byte-identical graph (and hence the
+// identical fingerprint the decision is keyed on). -json prints the
+// decision machine-readably. The tuned config must beat the default
+// (-d/-b/-r) by -min-gain or the decision pins the default — autotuning
+// never makes a workload slower.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/dse"
+	"dpuv2/internal/suite"
+	"dpuv2/internal/tune"
+)
+
+// decisionJSON is the -json output shape; configs use the same field
+// names the /execute request body accepts.
+type decisionJSON struct {
+	Fingerprint  string           `json:"fingerprint"`
+	Config       arch.Config      `json:"config"`
+	Options      compiler.Options `json:"options"`
+	Score        float64          `json:"score"`
+	Metric       string           `json:"metric"`
+	Default      arch.Config      `json:"default"`
+	DefaultScore float64          `json:"default_score"`
+	Improvement  float64          `json:"improvement"` // fractional win over the default
+	Points       int              `json:"points"`
+	GridSize     int              `json:"grid_size"`
+	BudgetNS     int64            `json:"budget_ns"`
+	TunedAtUnix  int64            `json:"tuned_at_unix"`
+	Tuner        string           `json:"tuner"`
+}
+
+// run is the testable body of the command; it returns the process exit
+// code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpu-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "tretail", "benchmark name from Table I")
+	in := fs.String("in", "", "tune a DAG file (see internal/dag format) instead of a named benchmark")
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	d := fs.Int("d", 3, "default config: tree depth D")
+	b := fs.Int("b", 64, "default config: register banks B")
+	r := fs.Int("r", 32, "default config: registers per bank R")
+	metricName := fs.String("metric", "latency", "optimization target: latency, energy or edp")
+	budget := fs.Duration("budget", 0, "wall-clock tuning budget (0: sweep the whole grid)")
+	points := fs.Int("points", 0, "max candidate configs to evaluate (0: whole grid)")
+	workers := fs.Int("workers", 0, "sweep worker count (0: one per CPU)")
+	minGain := fs.Float64("min-gain", 0.01, "relative improvement required to switch off the default (0: any strictly better candidate wins)")
+	seed := fs.Int64("seed", 0, "compiler randomization seed")
+	part := fs.Int("partition", 0, "compiler coarse partition size (0 = off)")
+	storeDir := fs.String("store", "", "persist the decision and the pre-compiled tuned program into this artifact store")
+	dumpGraph := fs.String("dump-graph", "", "write the workload DAG to this file (dag text format), for submitting the identical fingerprint")
+	asJSON := fs.Bool("json", false, "print the decision as JSON")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var metric dse.Metric
+	if err := metric.ParseMetric(*metricName); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	var g *dag.Graph
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fmt.Fprintln(stderr, ferr)
+			return 1
+		}
+		g, err = dag.Read(f, *in)
+		f.Close()
+	} else {
+		g, err = suite.Build(*workload, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	if *dumpGraph != "" {
+		f, err := os.Create(*dumpGraph)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := dag.Write(f, g); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+
+	def := arch.Config{D: *d, B: *b, R: *r, Output: arch.OutPerLayer}.Normalize()
+	if err := def.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	copts := compiler.Options{Seed: *seed, PartitionSize: *part}
+
+	// The flag's 0 means "any strictly better candidate wins", but the
+	// tuner's zero value means "use the 1% default"; its negative-clamp
+	// mode is exactly the strictly-better behavior the flag documents.
+	mg := *minGain
+	if mg == 0 {
+		mg = -1
+	}
+	tuner := tune.New(tune.Options{
+		Metric:    metric,
+		Budget:    *budget,
+		MaxPoints: *points,
+		Workers:   *workers,
+		MinGain:   mg,
+	})
+	start := time.Now()
+	dec, err := tuner.Tune(context.Background(), g, def, copts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	improvement := 0.0
+	if dec.Provenance.DefaultScore > 0 {
+		improvement = 1 - dec.Score/dec.Provenance.DefaultScore
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(decisionJSON{
+			Fingerprint:  dec.Fingerprint.String(),
+			Config:       dec.Config,
+			Options:      dec.Options,
+			Score:        dec.Score,
+			Metric:       dec.Provenance.Metric,
+			Default:      dec.Provenance.Default,
+			DefaultScore: dec.Provenance.DefaultScore,
+			Improvement:  improvement,
+			Points:       dec.Provenance.Points,
+			GridSize:     dec.Provenance.GridSize,
+			BudgetNS:     dec.Provenance.BudgetNS,
+			TunedAtUnix:  dec.Provenance.TunedAtUnix,
+			Tuner:        dec.Provenance.Tuner,
+		}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "workload:    %s (%d nodes, fingerprint %s)\n", g.Name, g.NumNodes(), dec.Fingerprint.Short())
+		fmt.Fprintf(stdout, "metric:      %s (lower is better)\n", dec.Provenance.Metric)
+		fmt.Fprintf(stdout, "default:     %v  score %.4f\n", dec.Provenance.Default, dec.Provenance.DefaultScore)
+		if dec.Config == dec.Provenance.Default {
+			// The tuner clamps negative gain thresholds to 0 ("strictly
+			// better"); report the threshold actually applied.
+			fmt.Fprintf(stdout, "decision:    keep the default (no candidate won by ≥%.1f%%)\n", 100*math.Max(*minGain, 0))
+		} else {
+			fmt.Fprintf(stdout, "decision:    %v  score %.4f (%.1f%% better)\n", dec.Config, dec.Score, 100*improvement)
+		}
+		fmt.Fprintf(stdout, "evaluated:   %d of %d grid points in %v\n", dec.Provenance.Points, dec.Provenance.GridSize, elapsed.Round(time.Millisecond))
+	}
+
+	if *storeDir != "" {
+		st, err := artifact.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := st.PutDecision(dec); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		// Stage the tuned program too, so the serving engine's first
+		// request is a store hit, not a compile.
+		c, err := compiler.Compile(g, dec.Config, dec.Options)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		a := &artifact.Artifact{Fingerprint: g.Fingerprint(), Options: dec.Options, Compiled: c}
+		if err := st.Put(a); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if !*asJSON {
+			fmt.Fprintf(stdout, "persisted:   decision + tuned program in %s\n", *storeDir)
+		}
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/dag"
+)
+
+// tinyGrid keeps CLI tests fast; -points truncates the 48-point grid.
+const tinyPoints = "6"
+
+func TestTuneWorkloadToStore(t *testing.T) {
+	dir := t.TempDir()
+	dump := filepath.Join(t.TempDir(), "w.dag")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-workload", "tretail", "-scale", "0.02", "-metric", "latency",
+		"-points", tinyPoints, "-store", dir, "-dump-graph", dump,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "persisted:") {
+		t.Errorf("stdout does not report persistence:\n%s", stdout.String())
+	}
+
+	// The dumped graph must reproduce the fingerprint the decision is
+	// keyed on — that is what lets a client hit the tuned path.
+	f, err := os.Open(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Read(f, "w")
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := st.GetDecision(g.Fingerprint())
+	if err != nil {
+		t.Fatalf("decision not in store under the dumped graph's fingerprint: %v", err)
+	}
+	if dec.Provenance.Tuner == "" || dec.Provenance.Metric != "latency" {
+		t.Fatalf("incomplete provenance: %+v", dec.Provenance)
+	}
+
+	// The tuned program was staged alongside, under the engine's key.
+	key := artifact.KeyFor(g.Fingerprint(), dec.Config, dec.Options)
+	if _, err := st.Get(key); err != nil {
+		t.Fatalf("tuned program not staged: %v", err)
+	}
+}
+
+func TestTuneJSONOutput(t *testing.T) {
+	dagPath := filepath.Join(t.TempDir(), "g.dag")
+	if err := os.WriteFile(dagPath, []byte("input\ninput\nadd 0 1\nconst 3\nmul 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-in", dagPath, "-points", tinyPoints, "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var out decisionJSON
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if out.Fingerprint == "" || out.Metric != "latency" || out.GridSize == 0 {
+		t.Fatalf("incomplete decision JSON: %+v", out)
+	}
+	if err := (out.Config.Validate()); err != nil {
+		t.Fatalf("decision config invalid: %v", err)
+	}
+	if out.Default != arch.MinEDP() {
+		t.Fatalf("default config = %+v, want min-EDP", out.Default)
+	}
+}
+
+func TestTuneBadInputs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown workload":  {"-workload", "nope"},
+		"unknown metric":    {"-metric", "throughput"},
+		"invalid default":   {"-workload", "tretail", "-scale", "0.01", "-d", "9", "-b", "1", "-r", "1"},
+		"missing dag file":  {"-in", "/nonexistent/g.dag"},
+		"unparseable flags": {"-points", "x"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("%s: exit 0, want non-zero", name)
+		}
+	}
+}
+
+func TestTuneHelpIsNotAnError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-metric") {
+		t.Error("usage text does not document -metric")
+	}
+}

@@ -174,13 +174,13 @@ func Decode(r io.Reader) (*Artifact, error) {
 // enc accumulates the payload.
 type enc struct{ buf []byte }
 
-func (e *enc) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
-func (e *enc) varint(v int64)    { e.buf = binary.AppendVarint(e.buf, v) }
-func (e *enc) u8(v uint8)        { e.buf = append(e.buf, v) }
-func (e *enc) f64(v float64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
-func (e *enc) raw(b []byte)      { e.buf = append(e.buf, b...) }
-func (e *enc) bytes(b []byte)    { e.uvarint(uint64(len(b))); e.raw(b) }
-func (e *enc) str(s string)      { e.uvarint(uint64(len(s))); e.buf = append(e.buf, s...) }
+func (e *enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) u8(v uint8)       { e.buf = append(e.buf, v) }
+func (e *enc) f64(v float64)    { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+func (e *enc) raw(b []byte)     { e.buf = append(e.buf, b...) }
+func (e *enc) bytes(b []byte)   { e.uvarint(uint64(len(b))); e.raw(b) }
+func (e *enc) str(s string)     { e.uvarint(uint64(len(s))); e.buf = append(e.buf, s...) }
 func (e *enc) boolean(b bool) {
 	if b {
 		e.u8(1)
@@ -498,38 +498,13 @@ func decodePayload(b []byte) (*Artifact, error) {
 	a := &Artifact{}
 
 	// Hardware configuration.
-	var cfg arch.Config
-	cfg.D = int(d.uvarint())
-	cfg.B = int(d.uvarint())
-	cfg.R = int(d.uvarint())
-	cfg.Output = arch.OutputTopology(d.u8())
-	cfg.DataMemWords = int(d.uvarint())
-	cfg.ClockMHz = d.f64()
+	cfg := d.decodeConfig("config")
 	if d.err != nil {
 		return nil, d.err
 	}
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	if cfg != cfg.Normalize() {
-		return nil, fmt.Errorf("%w: config %v not in normalized form", ErrCorrupt, cfg)
-	}
-	if err := checkConfig(cfg); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
 
 	// Compiler options.
-	var opts compiler.Options
-	opts.Seed = d.varint()
-	opts.RandomBanks = d.boolean()
-	opts.Window = d.intNonNeg("window", maxTuning)
-	opts.SeedLookahead = d.intNonNeg("seed lookahead", maxTuning)
-	opts.FillLookahead = d.intNonNeg("fill lookahead", maxTuning)
-	opts.PartitionSize = d.intNonNeg("partition size", math.MaxInt32)
-	if d.err == nil && opts != opts.Normalized() {
-		d.fail("options %+v not in normalized form", opts)
-	}
-	a.Options = opts
+	a.Options = d.decodeOptions()
 
 	copy(a.Fingerprint[:], d.raw(len(a.Fingerprint)))
 

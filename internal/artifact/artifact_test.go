@@ -232,7 +232,7 @@ func TestDecodeCountAmplificationBounded(t *testing.T) {
 	e.raw(a.Fingerprint[:])
 	e.str("amplified")
 	const claimed = 4 << 20
-	e.uvarint(claimed)                      // 4M nodes claimed...
+	e.uvarint(claimed)                         // 4M nodes claimed...
 	e.raw(bytes.Repeat([]byte{0xff}, claimed)) // ...backed by invalid op bytes
 	payload := e.buf
 

@@ -1,0 +1,280 @@
+// The `.dputune` record — the persisted form of an autotuning decision.
+//
+// A Decision maps one workload fingerprint to the hardware configuration
+// (and compiler options) the design-space exploration found best for it,
+// together with enough provenance to audit and re-derive the choice. It
+// is the durable half of the tune→serve loop: `dpu-tune` (or the
+// engine's background tuner) writes a decision next to the compiled
+// programs, and a restarted `dpu-serve -autotune` reads it back and
+// serves the workload on the tuned configuration without re-tuning.
+//
+// File layout mirrors the .dpuprog artifact (all header fields
+// little-endian):
+//
+//	offset  size  field
+//	0       8     magic "\x7fDPUTUNE"
+//	8       2     decision format version (currently 1)
+//	10      4     CRC-32C (Castagnoli) of the payload
+//	14      8     payload length in bytes
+//	22      …     payload
+//
+// The payload is the same canonical varint encoding the artifact uses:
+// minimal varints, fixed field order, normalized config/options —
+// EncodeDecisionBytes(DecodeDecisionBytes(x)) == x whenever decoding
+// succeeds. Malformed input yields the package's typed errors
+// (ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt),
+// never a panic. Any payload layout change must bump DecisionVersion.
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// DecisionVersion is the current .dputune format version.
+const DecisionVersion = 1
+
+// decisionMagic opens every decision record.
+var decisionMagic = [8]byte{0x7f, 'D', 'P', 'U', 'T', 'U', 'N', 'E'}
+
+// Provenance records how a Decision was reached, so an operator (or a
+// later re-tune) can judge whether it is still trustworthy.
+type Provenance struct {
+	// Metric is the optimization target ("latency", "energy" or "edp").
+	Metric string
+	// Default is the configuration the tuned one was compared against —
+	// the config requests would have been served on without tuning.
+	Default arch.Config
+	// DefaultScore is the metric value of the default config, the
+	// baseline the winning Score beat (or tied, when the decision pins
+	// the default because nothing beat it).
+	DefaultScore float64
+	// Points is how many candidate configurations were actually
+	// evaluated before the budget ran out; GridSize is how many the
+	// candidate grid held in total.
+	Points   int
+	GridSize int
+	// BudgetNS is the wall-clock tuning budget in nanoseconds (0: none).
+	BudgetNS int64
+	// TunedAtUnix is when the decision was made (Unix seconds).
+	TunedAtUnix int64
+	// Tuner identifies the producing tool and its policy version,
+	// e.g. "dpu-tune/1".
+	Tuner string
+}
+
+// Decision is one per-workload autotuning outcome: serve the graph with
+// fingerprint Fingerprint on Config with Options. Score is the metric
+// value of that choice (lower is better, same units as the dse sweep).
+type Decision struct {
+	Fingerprint dag.Fingerprint
+	Config      arch.Config
+	Options     compiler.Options
+	Score       float64
+	Provenance  Provenance
+}
+
+// maxDecisionStr bounds the free-form provenance strings so a corrupted
+// length cannot drive a huge allocation.
+const maxDecisionStr = 1 << 10
+
+// EncodeDecisionBytes serializes d into the .dputune format.
+func EncodeDecisionBytes(d *Decision) ([]byte, error) {
+	cfg := d.Config.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decision: %w", err)
+	}
+	if err := checkConfig(cfg); err != nil {
+		return nil, fmt.Errorf("artifact: decision: %w", err)
+	}
+	opts := d.Options.Normalized()
+	if err := checkOptions(opts); err != nil {
+		return nil, err
+	}
+	defCfg := d.Provenance.Default.Normalize()
+	if err := defCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("artifact: decision default: %w", err)
+	}
+	if err := checkConfig(defCfg); err != nil {
+		return nil, fmt.Errorf("artifact: decision default: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"score", d.Score}, {"default score", d.Provenance.DefaultScore}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return nil, fmt.Errorf("artifact: decision %s %v not a finite non-negative number", f.name, f.v)
+		}
+	}
+	for _, s := range []struct {
+		name, v string
+	}{{"metric", d.Provenance.Metric}, {"tuner", d.Provenance.Tuner}} {
+		if len(s.v) > maxDecisionStr {
+			return nil, fmt.Errorf("artifact: decision %s string %d bytes long (limit %d)", s.name, len(s.v), maxDecisionStr)
+		}
+	}
+	if d.Provenance.Points < 0 || d.Provenance.GridSize < 0 ||
+		d.Provenance.Points > d.Provenance.GridSize {
+		return nil, fmt.Errorf("artifact: decision evaluated %d of %d grid points", d.Provenance.Points, d.Provenance.GridSize)
+	}
+	if d.Provenance.BudgetNS < 0 {
+		return nil, fmt.Errorf("artifact: decision budget %d negative", d.Provenance.BudgetNS)
+	}
+
+	var e enc
+	e.raw(d.Fingerprint[:])
+	e.config(cfg)
+	e.options(opts)
+	e.f64(d.Score)
+	e.str(d.Provenance.Metric)
+	e.config(defCfg)
+	e.f64(d.Provenance.DefaultScore)
+	e.uvarint(uint64(d.Provenance.Points))
+	e.uvarint(uint64(d.Provenance.GridSize))
+	e.varint(d.Provenance.BudgetNS)
+	e.varint(d.Provenance.TunedAtUnix)
+	e.str(d.Provenance.Tuner)
+
+	buf := make([]byte, headerSize, headerSize+len(e.buf))
+	copy(buf, decisionMagic[:])
+	binary.LittleEndian.PutUint16(buf[8:], DecisionVersion)
+	binary.LittleEndian.PutUint32(buf[10:], crc32.Checksum(e.buf, castagnoli))
+	binary.LittleEndian.PutUint64(buf[14:], uint64(len(e.buf)))
+	return append(buf, e.buf...), nil
+}
+
+// DecodeDecisionBytes parses a .dputune image. Every failure is typed;
+// success returns a decision whose config and options are validated and
+// in normalized (cache-key) form.
+func DecodeDecisionBytes(b []byte) (*Decision, error) {
+	if len(b) < headerSize {
+		if len(b) >= len(decisionMagic) && !bytes.Equal(b[:len(decisionMagic)], decisionMagic[:]) {
+			return nil, ErrBadMagic
+		}
+		return nil, fmt.Errorf("%w: %d-byte input shorter than the %d-byte header", ErrTruncated, len(b), headerSize)
+	}
+	if !bytes.Equal(b[:len(decisionMagic)], decisionMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(b[8:]); v != DecisionVersion {
+		return nil, fmt.Errorf("%w: decision is v%d, this build reads v%d", ErrVersion, v, DecisionVersion)
+	}
+	sum := binary.LittleEndian.Uint32(b[10:])
+	plen := binary.LittleEndian.Uint64(b[14:])
+	rest := b[headerSize:]
+	if uint64(len(rest)) < plen {
+		return nil, fmt.Errorf("%w: payload declares %d bytes, %d present", ErrTruncated, plen, len(rest))
+	}
+	if uint64(len(rest)) > plen {
+		return nil, fmt.Errorf("%w: %d bytes of trailing data", ErrCorrupt, uint64(len(rest))-plen)
+	}
+	if got := crc32.Checksum(rest, castagnoli); got != sum {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, sum, got)
+	}
+	return decodeDecisionPayload(rest)
+}
+
+// decodeOptions reads one compiler-options section and validates it
+// into normalized (cache-key) form. Shared by the .dpuprog and .dputune
+// decoders, so the two formats can never diverge in what options they
+// admit.
+func (d *dec) decodeOptions() compiler.Options {
+	var opts compiler.Options
+	opts.Seed = d.varint()
+	opts.RandomBanks = d.boolean()
+	opts.Window = d.intNonNeg("window", maxTuning)
+	opts.SeedLookahead = d.intNonNeg("seed lookahead", maxTuning)
+	opts.FillLookahead = d.intNonNeg("fill lookahead", maxTuning)
+	opts.PartitionSize = d.intNonNeg("partition size", math.MaxInt32)
+	if d.err == nil && opts != opts.Normalized() {
+		d.fail("options %+v not in normalized form", opts)
+	}
+	return opts
+}
+
+// decodeConfig reads one config section and validates it into
+// normalized, format-bounded form.
+func (d *dec) decodeConfig(what string) arch.Config {
+	var cfg arch.Config
+	cfg.D = int(d.uvarint())
+	cfg.B = int(d.uvarint())
+	cfg.R = int(d.uvarint())
+	cfg.Output = arch.OutputTopology(d.u8())
+	cfg.DataMemWords = int(d.uvarint())
+	cfg.ClockMHz = d.f64()
+	if d.err != nil {
+		return cfg
+	}
+	if err := cfg.Validate(); err != nil {
+		d.fail("%s: %v", what, err)
+		return cfg
+	}
+	if cfg != cfg.Normalize() {
+		d.fail("%s %v not in normalized form", what, cfg)
+		return cfg
+	}
+	if err := checkConfig(cfg); err != nil {
+		d.fail("%s: %v", what, err)
+	}
+	return cfg
+}
+
+// score reads one metric value, rejecting anything a valid tuner cannot
+// have produced (NaN/Inf would poison every later comparison).
+func (d *dec) score(what string) float64 {
+	v := d.f64()
+	if d.err == nil && (math.IsNaN(v) || math.IsInf(v, 0) || v < 0) {
+		d.fail("%s %v not a finite non-negative number", what, v)
+	}
+	return v
+}
+
+// decisionStr reads one bounded provenance string.
+func (d *dec) decisionStr(what string) string {
+	n := d.count(what, 1)
+	if d.err == nil && n > maxDecisionStr {
+		d.fail("%s string %d bytes long (limit %d)", what, n, maxDecisionStr)
+		return ""
+	}
+	return string(d.raw(n))
+}
+
+func decodeDecisionPayload(b []byte) (*Decision, error) {
+	d := &dec{buf: b}
+	dd := &Decision{}
+	copy(dd.Fingerprint[:], d.raw(len(dd.Fingerprint)))
+	dd.Config = d.decodeConfig("config")
+	dd.Options = d.decodeOptions()
+	dd.Score = d.score("score")
+	dd.Provenance.Metric = d.decisionStr("metric")
+	dd.Provenance.Default = d.decodeConfig("default config")
+	dd.Provenance.DefaultScore = d.score("default score")
+	points := d.uvarint()
+	grid := d.uvarint()
+	if d.err == nil && (points > grid || grid > math.MaxInt32) {
+		d.fail("evaluated %d of %d grid points", points, grid)
+	}
+	dd.Provenance.Points = int(points)
+	dd.Provenance.GridSize = int(grid)
+	budget := d.varint()
+	if d.err == nil && budget < 0 {
+		d.fail("budget %d negative", budget)
+	}
+	dd.Provenance.BudgetNS = budget
+	dd.Provenance.TunedAtUnix = d.varint()
+	dd.Provenance.Tuner = d.decisionStr("tuner")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d unread payload bytes", ErrCorrupt, d.remaining())
+	}
+	return dd, nil
+}

@@ -1,0 +1,295 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+func sampleDecision() *Decision {
+	g := dag.New("w")
+	a := g.AddInput()
+	b := g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	return &Decision{
+		Fingerprint: g.Fingerprint(),
+		Config:      arch.Config{D: 2, B: 16, R: 16, Output: arch.OutPerLayer}.Normalize(),
+		Options:     compiler.Options{Seed: 7}.Normalized(),
+		Score:       1.25,
+		Provenance: Provenance{
+			Metric:       "latency",
+			Default:      arch.MinEDP(),
+			DefaultScore: 2.5,
+			Points:       48,
+			GridSize:     48,
+			BudgetNS:     int64(30e9),
+			TunedAtUnix:  1_700_000_000,
+			Tuner:        "dpu-tune/1",
+		},
+	}
+}
+
+func TestDecisionRoundTrip(t *testing.T) {
+	d := sampleDecision()
+	b, err := EncodeDecisionBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDecisionBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *d {
+		t.Fatalf("round trip changed the decision:\n got %+v\nwant %+v", got, d)
+	}
+	// Canonical: re-encoding a decoded decision is byte-identical.
+	b2, err := EncodeDecisionBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode not byte-identical")
+	}
+}
+
+func TestDecisionEncodeNormalizes(t *testing.T) {
+	d := sampleDecision()
+	d.Config = arch.Config{D: 2, B: 16, R: 16, Output: arch.OutPerLayer} // un-normalized: zero mem/clock
+	d.Options = compiler.Options{Seed: 7}                                // un-normalized: zero window
+	b, err := EncodeDecisionBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDecisionBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != d.Config.Normalize() || got.Options != d.Options.Normalized() {
+		t.Fatalf("decoded config/options not normalized: %+v", got)
+	}
+}
+
+func TestDecisionEncodeRejectsGarbage(t *testing.T) {
+	for name, mutate := range map[string]func(*Decision){
+		"invalid config":      func(d *Decision) { d.Config = arch.Config{D: 9, B: 1, R: 1} },
+		"nan score":           func(d *Decision) { d.Score = nan() },
+		"negative score":      func(d *Decision) { d.Score = -1 },
+		"nan default score":   func(d *Decision) { d.Provenance.DefaultScore = nan() },
+		"invalid default":     func(d *Decision) { d.Provenance.Default = arch.Config{D: 9, B: 1, R: 1} },
+		"points beyond grid":  func(d *Decision) { d.Provenance.Points = d.Provenance.GridSize + 1 },
+		"negative budget":     func(d *Decision) { d.Provenance.BudgetNS = -1 },
+		"oversized metric":    func(d *Decision) { d.Provenance.Metric = string(make([]byte, maxDecisionStr+1)) },
+		"negative gridsize":   func(d *Decision) { d.Provenance.GridSize = -1; d.Provenance.Points = -1 },
+		"huge compile window": func(d *Decision) { d.Options.Window = maxTuning + 1 },
+	} {
+		d := sampleDecision()
+		mutate(d)
+		if _, err := EncodeDecisionBytes(d); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestDecisionDecodeTypedErrors(t *testing.T) {
+	valid, err := EncodeDecisionBytes(sampleDecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	if _, err := DecodeDecisionBytes(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+
+	bad = append([]byte(nil), valid...)
+	bad[8] = 0xFF
+	if _, err := DecodeDecisionBytes(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version: %v", err)
+	}
+
+	if _, err := DecodeDecisionBytes(valid[:len(valid)-3]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated: %v", err)
+	}
+	if _, err := DecodeDecisionBytes(valid[:5]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("tiny: %v", err)
+	}
+
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)-1] ^= 0x40
+	if _, err := DecodeDecisionBytes(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum: %v", err)
+	}
+
+	// A .dpuprog artifact is not a decision.
+	if _, err := DecodeDecisionBytes(append(magic[:], valid[8:]...)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("artifact magic: %v", err)
+	}
+
+	// Trailing data after the declared payload.
+	bad = append(append([]byte(nil), valid...), 0)
+	if _, err := DecodeDecisionBytes(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing: %v", err)
+	}
+}
+
+func TestDecisionStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDecision()
+	if _, err := st.GetDecision(d.Fingerprint); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store: %v", err)
+	}
+	if err := st.PutDecision(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.GetDecision(d.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *d {
+		t.Fatalf("store round trip changed the decision: %+v", got)
+	}
+
+	// Last-wins: a re-tune replaces the stored decision.
+	d2 := sampleDecision()
+	d2.Config = arch.MinLatency()
+	d2.Score = 0.5
+	if err := st.PutDecision(d2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.GetDecision(d.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != arch.MinLatency() || got.Score != 0.5 {
+		t.Fatalf("PutDecision did not replace: %+v", got)
+	}
+
+	// Decisions and programs share the directory without colliding:
+	// Walk must not see the decision, WalkDecisions must not see programs.
+	progs := 0
+	st.Walk(func(path string, a *Artifact, err error) bool { progs++; return true })
+	if progs != 0 {
+		t.Fatalf("Walk saw %d entries in a decision-only store", progs)
+	}
+	decs := 0
+	if err := st.WalkDecisions(func(path string, d *Decision, err error) bool {
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		decs++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if decs != 1 {
+		t.Fatalf("WalkDecisions saw %d decisions, want 1", decs)
+	}
+
+	if err := st.RemoveDecision(d.Fingerprint); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetDecision(d.Fingerprint); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after remove: %v", err)
+	}
+	if err := st.RemoveDecision(d.Fingerprint); err != nil {
+		t.Fatalf("double remove must be a no-op: %v", err)
+	}
+}
+
+func TestDecisionStoreSelfHeals(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDecision()
+	if err := st.PutDecision(d); err != nil {
+		t.Fatal(err)
+	}
+	p := st.decisionPath(d.Fingerprint)
+
+	// Corrupt the payload on disk: Get reports the typed error and
+	// removes the corpse so a re-tune can land.
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetDecision(d.Fingerprint); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt decision: %v", err)
+	}
+	if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt decision not removed")
+	}
+
+	// A valid decision filed under the wrong fingerprint is foreign
+	// content: rejected as corrupt and removed.
+	if err := st.PutDecision(d); err != nil {
+		t.Fatal(err)
+	}
+	var other dag.Fingerprint
+	other[0] = 0xAB
+	wrong := filepath.Join(st.Dir(), other.String()+DecisionExt)
+	if err := os.Rename(p, wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetDecision(other); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched decision: %v", err)
+	}
+	if _, err := os.Stat(wrong); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("mismatched decision not removed")
+	}
+}
+
+// FuzzDecisionDecode mirrors FuzzArtifactDecode for the .dputune format:
+// arbitrary bytes never panic, always yield a typed error, and accepted
+// inputs re-encode byte-identically.
+func FuzzDecisionDecode(f *testing.F) {
+	valid, err := EncodeDecisionBytes(sampleDecision())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:headerSize])
+	f.Add([]byte{})
+	trunc := append([]byte(nil), valid[:len(valid)-4]...)
+	f.Add(trunc)
+	flip := append([]byte(nil), valid...)
+	flip[headerSize+3] ^= 0x10
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, err := DecodeDecisionBytes(b)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) &&
+				!errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		re, err := EncodeDecisionBytes(d)
+		if err != nil {
+			t.Fatalf("decoded decision does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode not byte-identical:\n in  %x\n out %x", b, re)
+		}
+	})
+}

@@ -6,6 +6,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,11 +68,18 @@ func Evaluate(g *dag.Graph, cfg arch.Config, opts compiler.Options) (energy.Esti
 // evaluatePoint evaluates one configuration over the workload suite. An
 // error on any workload marks the point infeasible and carries that
 // error; evaluation of the remaining configurations is unaffected (no
-// sweep-wide bail).
-func evaluatePoint(workloads []*dag.Graph, cfg arch.Config, opts compiler.Options) Point {
+// sweep-wide bail). Cancellation of ctx is checked between workloads, so
+// a canceled point stops after the workload it is on rather than
+// finishing the suite.
+func evaluatePoint(ctx context.Context, workloads []*dag.Graph, cfg arch.Config, opts compiler.Options) Point {
 	p := Point{Cfg: cfg.Normalize(), Feasible: true}
 	var lat, en float64
 	for _, g := range workloads {
+		if err := ctx.Err(); err != nil {
+			p.Feasible = false
+			p.Err = err
+			break
+		}
 		est, err := Evaluate(g, cfg, opts)
 		if err != nil {
 			p.Feasible = false
@@ -106,6 +114,18 @@ func Sweep(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options) []
 // sweep because each evaluation is deterministic and shares nothing
 // mutable.
 func SweepParallel(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options, workers int) []Point {
+	return SweepContext(context.Background(), workloads, cfgs, opts, workers)
+}
+
+// SweepContext is SweepParallel with cancellation: when ctx is canceled
+// (or its deadline expires) mid-sweep, configurations not yet evaluated
+// are returned promptly as infeasible points carrying ctx's error, and a
+// point mid-evaluation stops at its next workload boundary. The sweep
+// never returns early — the slice always has one point per configuration,
+// in cfgs order — so callers working under a budget (the autotuner) get
+// whatever partial results the budget bought, each point labeled either
+// with its metrics or with the cancellation error.
+func SweepContext(ctx context.Context, workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Options, workers int) []Point {
 	// Force the lazily memoized graph adjacency into existence before
 	// fanning out, so the workers strictly read the shared graphs.
 	for _, g := range workloads {
@@ -115,7 +135,11 @@ func SweepParallel(workloads []*dag.Graph, cfgs []arch.Config, opts compiler.Opt
 	}
 	points := make([]Point, len(cfgs))
 	par.ForEach(len(cfgs), workers, func(i int) {
-		points[i] = evaluatePoint(workloads, cfgs[i], opts)
+		if err := ctx.Err(); err != nil {
+			points[i] = Point{Cfg: cfgs[i].Normalize(), Err: err}
+			return
+		}
+		points[i] = evaluatePoint(ctx, workloads, cfgs[i], opts)
 	})
 	return points
 }
@@ -129,6 +153,59 @@ const (
 	MinEDP
 )
 
+// String names the metric the way the CLIs spell it.
+func (m Metric) String() string {
+	switch m {
+	case MinLatency:
+		return "latency"
+	case MinEnergy:
+		return "energy"
+	case MinEDP:
+		return "edp"
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// ParseMetric is the inverse of String, for flag values.
+func (m *Metric) ParseMetric(s string) error {
+	switch s {
+	case "latency":
+		*m = MinLatency
+	case "energy":
+		*m = MinEnergy
+	case "edp":
+		*m = MinEDP
+	default:
+		return fmt.Errorf("dse: unknown metric %q (latency, energy or edp)", s)
+	}
+	return nil
+}
+
+// Value extracts the metric's per-op score from a point; lower is better.
+func (m Metric) Value(p Point) float64 {
+	switch m {
+	case MinLatency:
+		return p.LatencyPerOp
+	case MinEnergy:
+		return p.EnergyPerOp
+	default:
+		return p.EDP
+	}
+}
+
+// ValueOf extracts the metric's per-op score from a single-workload
+// estimate, the same quantity Value reads from a sweep point.
+func (m Metric) ValueOf(est energy.Estimate) float64 {
+	switch m {
+	case MinLatency:
+		return est.LatencyPerOp
+	case MinEnergy:
+		return est.EnergyPerOp
+	default:
+		return est.EDP
+	}
+}
+
 // Best returns the feasible point minimizing the metric.
 func Best(points []Point, m Metric) (Point, bool) {
 	best := Point{}
@@ -138,16 +215,7 @@ func Best(points []Point, m Metric) (Point, bool) {
 		if !p.Feasible {
 			continue
 		}
-		var v float64
-		switch m {
-		case MinLatency:
-			v = p.LatencyPerOp
-		case MinEnergy:
-			v = p.EnergyPerOp
-		default:
-			v = p.EDP
-		}
-		if v < bestV {
+		if v := m.Value(p); v < bestV {
 			bestV, best, found = v, p, true
 		}
 	}

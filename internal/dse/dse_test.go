@@ -1,7 +1,10 @@
 package dse
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/compiler"
@@ -118,6 +121,108 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 				t.Errorf("workers=%d point %d: error text differs:\n  parallel: %v\n  serial:   %v", workers, i, p.Err, s.Err)
 			}
 		}
+	}
+}
+
+// TestSweepContextCanceledUpFront: with a context canceled before the
+// sweep starts, every point comes back infeasible with the context's
+// error — same length, same order, no evaluation, and the sweep returns
+// promptly instead of burning the full grid.
+func TestSweepContextCanceledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	suite := []*dag.Graph{pc.Build(pc.Suite()[0], 0.2)}
+	start := time.Now()
+	points := SweepContext(ctx, suite, Grid(), compiler.Options{}, 0)
+	elapsed := time.Since(start)
+	if len(points) != len(Grid()) {
+		t.Fatalf("got %d points, want one per config", len(points))
+	}
+	for i, p := range points {
+		if p.Feasible {
+			t.Fatalf("point %d evaluated despite canceled context: %+v", i, p)
+		}
+		if !errors.Is(p.Err, context.Canceled) {
+			t.Fatalf("point %d error = %v, want context.Canceled", i, p.Err)
+		}
+		if p.Cfg != Grid()[i].Normalize() {
+			t.Fatalf("point %d config %v out of order (want %v)", i, p.Cfg, Grid()[i].Normalize())
+		}
+	}
+	// No compilation happened, so even a generous bound proves promptness
+	// (the full 48-point sweep of this workload takes seconds).
+	if elapsed > 2*time.Second {
+		t.Fatalf("canceled sweep took %v", elapsed)
+	}
+}
+
+// TestSweepContextCancelMidSweep cancels a running sweep and asserts it
+// returns promptly with partial results: points not yet started carry the
+// cancellation error, anything already evaluated is a normal point, and
+// the two together cover the whole grid.
+func TestSweepContextCancelMidSweep(t *testing.T) {
+	// Big enough that a full 48-point sweep takes many seconds — the
+	// prompt return below is then meaningful — while a single in-flight
+	// point finishes quickly.
+	suite := []*dag.Graph{pc.Build(pc.Suite()[0], 0.2)}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	points := SweepContext(ctx, suite, Grid(), compiler.Options{}, 2)
+	elapsed := time.Since(start)
+	if len(points) != len(Grid()) {
+		t.Fatalf("got %d points, want one per config", len(points))
+	}
+	canceled, evaluated := 0, 0
+	for _, p := range points {
+		switch {
+		case errors.Is(p.Err, context.Canceled):
+			canceled++
+		case p.Feasible:
+			evaluated++
+			if p.LatencyPerOp <= 0 {
+				t.Fatalf("evaluated point has bogus metrics: %+v", p)
+			}
+		case p.Err == nil:
+			t.Fatalf("infeasible point with no error: %+v", p)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("cancellation landed after the whole sweep finished; grid too small or machine too fast for this test")
+	}
+	if canceled+evaluated < len(Grid())-2 { // allow a couple of genuinely infeasible points
+		t.Fatalf("canceled %d + evaluated %d does not cover the %d-point grid", canceled, evaluated, len(Grid()))
+	}
+	// Prompt return: at most the in-flight points drain. A full sweep of
+	// this workload takes well over 10s; 5s of headroom keeps slow CI
+	// machines from flaking while still catching a sweep that ignores
+	// cancellation.
+	if elapsed > 5*time.Second {
+		t.Fatalf("canceled sweep took %v, cancellation not honored", elapsed)
+	}
+}
+
+func TestMetricStringParseRoundTrip(t *testing.T) {
+	for _, m := range []Metric{MinLatency, MinEnergy, MinEDP} {
+		var got Metric
+		if err := got.ParseMetric(m.String()); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %v -> %q -> %v", m, m.String(), got)
+		}
+	}
+	var m Metric
+	if err := m.ParseMetric("throughput"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	p := Point{LatencyPerOp: 1, EnergyPerOp: 2, EDP: 3}
+	if MinLatency.Value(p) != 1 || MinEnergy.Value(p) != 2 || MinEDP.Value(p) != 3 {
+		t.Fatalf("Value reads the wrong fields: %v %v %v",
+			MinLatency.Value(p), MinEnergy.Value(p), MinEDP.Value(p))
 	}
 }
 

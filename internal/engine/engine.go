@@ -27,7 +27,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -53,8 +55,52 @@ type Options struct {
 	// Store, when non-nil, backs the compile cache with persisted
 	// artifacts: misses consult it before compiling, successful
 	// compilations are persisted to it asynchronously (Flush waits for
-	// them), and Preload fills the cache from it.
+	// them), and Preload fills the cache from it. With AutoTune it also
+	// carries the .dputune decision records.
 	Store *artifact.Store
+	// AutoTune routes requests through the per-fingerprint decision
+	// table (see Resolve): a workload with a tuned decision — resident,
+	// in the Store, or produced by the Tuner — is served on the tuned
+	// configuration instead of the caller's.
+	AutoTune bool
+	// Tuner, when non-nil, tunes undecided fingerprints in the
+	// background on first sight (implies AutoTune). *tune.Tuner is the
+	// production implementation.
+	Tuner Tuner
+	// DecisionGuard vets a decision's configuration before it is
+	// applied: a decision whose config fails the guard is pinned to the
+	// default instead of served (and surfaced in StoreErrors or
+	// TuneErrors, by source), so a hand-staged store file can never
+	// switch traffic onto a config the request path would have rejected
+	// — and never shows up as a tuned hit it didn't earn. Nil defaults
+	// to CheckMachineBounds; install a custom policy (or a func
+	// returning nil) to widen it.
+	DecisionGuard func(arch.Config) error
+}
+
+// CheckMachineBounds rejects configurations whose machine state would
+// be unreasonably large before anything is allocated.
+// arch.Config.Validate checks constructibility, not size: B·R float64
+// registers (plus valid bits) and DataMemWords words are allocated per
+// pooled machine, so an unbounded config would OOM a server. The caps
+// comfortably cover every configuration of the paper (DPU-v2 (L) is
+// B=64, R=256, 4M-word memory). The serving layer applies the same
+// bounds to client-requested configs, and it is the default
+// DecisionGuard, so autotuning decisions cannot bypass them.
+func CheckMachineBounds(cfg arch.Config) error {
+	cfg = cfg.Normalize()
+	const (
+		maxB        = 1 << 10
+		maxR        = 1 << 12
+		maxMemWords = 1 << 24 // 128 MB of float64
+	)
+	if cfg.B > maxB || cfg.R > maxR {
+		return fmt.Errorf("register file %dx%d exceeds the serving limit %dx%d", cfg.B, cfg.R, maxB, maxR)
+	}
+	if cfg.DataMemWords > maxMemWords {
+		return fmt.Errorf("data memory %d words exceeds the serving limit %d", cfg.DataMemWords, maxMemWords)
+	}
+	return nil
 }
 
 func (o Options) normalize() Options {
@@ -66,6 +112,12 @@ func (o Options) normalize() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Tuner != nil {
+		o.AutoTune = true
+	}
+	if o.DecisionGuard == nil {
+		o.DecisionGuard = CheckMachineBounds
 	}
 	return o
 }
@@ -97,6 +149,22 @@ type Stats struct {
 	StoreErrors int64
 	// Preloaded counts artifacts loaded into the cache by Preload.
 	Preloaded int64
+	// TunedHits counts requests Resolve served on a tuned decision's
+	// configuration; StoreTuned counts decisions loaded from the store;
+	// Tunes/TuneErrors/TuneInFlight track background tuning (see
+	// TuneStats for the full autotuning picture).
+	TunedHits    int64
+	StoreTuned   int64
+	Tunes        int64
+	TuneErrors   int64
+	TuneInFlight int64
+	// Decisions is the number of resident autotuning decisions.
+	Decisions int
+	// Pools reports the idle (free) machines retained per configuration,
+	// keyed by the config's String() — the observable footprint of the
+	// machine pool, and how operators watch a tuned config's pool grow
+	// as traffic switches onto it.
+	Pools map[string]int
 }
 
 // cacheKey is the content address of a compiled program. All fields are
@@ -159,6 +227,17 @@ type Engine struct {
 	preloaded   atomic.Int64
 	// persists tracks in-flight async artifact writes; Flush waits on it.
 	persists sync.WaitGroup
+
+	// Autotuning state (tune.go).
+	tuneMu       sync.Mutex // guards tune
+	tune         tuneState
+	tunedHits    atomic.Int64
+	storeTuned   atomic.Int64
+	tunes        atomic.Int64
+	tuneErrors   atomic.Int64
+	tuneInFlight atomic.Int64
+	// tuneWG tracks background tunes; WaitTunes waits on it.
+	tuneWG sync.WaitGroup
 }
 
 // New returns an engine with the given options.
@@ -167,6 +246,11 @@ func New(opts Options) *Engine {
 		opts:    opts.normalize(),
 		entries: make(map[cacheKey]*entry),
 		pools:   make(map[arch.Config]*machinePool),
+		tune: tuneState{
+			decisions: make(map[dag.Fingerprint]residentDecision),
+			tuning:    make(map[dag.Fingerprint]struct{}),
+			probing:   make(map[dag.Fingerprint]struct{}),
+		},
 	}
 }
 
@@ -317,6 +401,45 @@ func (e *Engine) Preload() (n int, err error) {
 		e.mu.Unlock()
 		return !full
 	})
+	if werr == nil && e.opts.AutoTune {
+		// Decisions ride along: a warm-started autotuning server serves
+		// every stored fingerprint on its tuned config from the first
+		// request, with zero in-process tuning. The permanent decision
+		// table keeps its bound here too — a store accumulating more
+		// decisions than the cap stops loading once full, like the
+		// program walk stops at the cache bound.
+		werr = st.WalkDecisions(func(path string, d *artifact.Decision, derr error) bool {
+			if derr != nil {
+				if !errors.Is(derr, artifact.ErrVersion) {
+					e.storeErrors.Add(1)
+				}
+				return true
+			}
+			// Same identity check GetDecision enforces: a decision is
+			// served only from its own address. A misaddressed file
+			// (stale copy, hand-renamed) must not shadow the current
+			// decision for the fingerprint it embeds — walk order would
+			// otherwise decide which one wins.
+			if base := strings.TrimSuffix(filepath.Base(path), artifact.DecisionExt); base != d.Fingerprint.String() {
+				e.storeErrors.Add(1)
+				return true
+			}
+			r := e.admitDecision(d, "store")
+			e.tuneMu.Lock()
+			full := len(e.tune.decisions) >= maxDecisions
+			if _, known := e.tune.decisions[d.Fingerprint]; !known && !full {
+				e.tune.decisions[d.Fingerprint] = r
+				if r.d != nil {
+					e.storeTuned.Add(1)
+				} else {
+					e.storeErrors.Add(1) // guard-rejected store content
+				}
+				full = len(e.tune.decisions) >= maxDecisions
+			}
+			e.tuneMu.Unlock()
+			return !full
+		})
+	}
 	return n, werr
 }
 
@@ -606,5 +729,24 @@ func (e *Engine) Stats() Stats {
 	s.StoreMisses = e.storeMisses.Load()
 	s.StoreErrors = e.storeErrors.Load()
 	s.Preloaded = e.preloaded.Load()
+	s.TunedHits = e.tunedHits.Load()
+	s.StoreTuned = e.storeTuned.Load()
+	s.Tunes = e.tunes.Load()
+	s.TuneErrors = e.tuneErrors.Load()
+	s.TuneInFlight = e.tuneInFlight.Load()
+	e.tuneMu.Lock()
+	s.Decisions = len(e.tune.decisions)
+	e.tuneMu.Unlock()
+	s.Pools = make(map[string]int)
+	e.poolMu.Lock()
+	for cfg, p := range e.pools {
+		p.mu.Lock()
+		free := len(p.free)
+		p.mu.Unlock()
+		if free > 0 {
+			s.Pools[cfg.String()] = free
+		}
+	}
+	e.poolMu.Unlock()
 	return s
 }

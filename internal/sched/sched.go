@@ -125,7 +125,11 @@ type Stats struct {
 }
 
 // key is the coalescing address: requests batch together iff their
-// compiled program would be the same cache entry in the engine.
+// compiled program would be the same cache entry in the engine. The
+// serving layer resolves autotuned configurations *before* submitting
+// (engine.Resolve), so once a workload's tuning decision lands, its
+// traffic coalesces under the tuned config's key — the batch key follows
+// the config switch with no scheduler involvement.
 type key struct {
 	fp   dag.Fingerprint
 	cfg  arch.Config

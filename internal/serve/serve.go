@@ -67,13 +67,16 @@ type HTTPStats struct {
 	Latency metrics.Summary `json:"latency_ns"`
 }
 
-// StatsResponse is the GET /stats body: engine counters, scheduler
-// counters (queue depth, batch-size histogram, per-item latency
-// quantiles) and HTTP-level latency quantiles.
+// StatsResponse is the GET /stats body: engine counters (including
+// per-config machine-pool sizes), scheduler counters (queue depth,
+// batch-size histogram, per-item latency quantiles), HTTP-level latency
+// quantiles and the autotuning section (decision table, tuned hits,
+// background tunes in flight).
 type StatsResponse struct {
-	Engine engine.Stats `json:"engine"`
-	Sched  sched.Stats  `json:"sched"`
-	HTTP   HTTPStats    `json:"http"`
+	Engine engine.Stats     `json:"engine"`
+	Sched  sched.Stats      `json:"sched"`
+	HTTP   HTTPStats        `json:"http"`
+	Tune   engine.TuneStats `json:"tune"`
 }
 
 // maxRequestBytes bounds one /execute body; graphs and input batches
@@ -166,6 +169,7 @@ func (s *Server) Stats() StatsResponse {
 			Errors:   s.errors.Load(),
 			Latency:  s.latency.Summary(),
 		},
+		Tune: s.eng.TuneStats(),
 	}
 }
 
@@ -189,26 +193,14 @@ func (s *Server) fail(w http.ResponseWriter, msg string, status int) {
 }
 
 // checkConfigBounds rejects client configs whose machine state would be
-// unreasonably large before anything is allocated. arch.Config.Validate
-// checks constructibility, not size: B·R float64 registers (plus valid
-// bits) and DataMemWords words are allocated per pooled machine, so a
-// hostile {R: 1e9} request would otherwise OOM the server. The caps
-// comfortably cover every configuration of the paper (DPU-v2 (L) is
-// B=64, R=256, 4M-word memory).
+// unreasonably large before anything is allocated — a hostile {R: 1e9}
+// request would otherwise OOM the server. The limits live in the engine
+// (engine.CheckMachineBounds), which builds the machines and applies
+// the same bounds as its default autotuning DecisionGuard, so client
+// requests and stored tuning decisions can never disagree about what
+// fits.
 func checkConfigBounds(cfg arch.Config) error {
-	cfg = cfg.Normalize()
-	const (
-		maxB        = 1 << 10
-		maxR        = 1 << 12
-		maxMemWords = 1 << 24 // 128 MB of float64
-	)
-	if cfg.B > maxB || cfg.R > maxR {
-		return fmt.Errorf("register file %dx%d exceeds the serving limit %dx%d", cfg.B, cfg.R, maxB, maxR)
-	}
-	if cfg.DataMemWords > maxMemWords {
-		return fmt.Errorf("data memory %d words exceeds the serving limit %d", cfg.DataMemWords, maxMemWords)
-	}
-	return nil
+	return engine.CheckMachineBounds(cfg)
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
@@ -252,6 +244,19 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if err := checkConfigBounds(cfg); err != nil {
 		s.fail(w, "bad config: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	// Autotuning: a fingerprint with a tuned decision is served on the
+	// tuned configuration instead of the request's. Everything downstream
+	// — the scheduler's batch key, the engine's compile-cache key and the
+	// machine pool — keys on what Resolve returns, so coalescing and
+	// pooling follow the switch atomically. Without AutoTune this is the
+	// identity. The tuned config must pass the same machine-size bounds
+	// as a client-requested one (the .dputune format admits larger
+	// memories than the serving limit): an out-of-bounds decision is
+	// ignored, not served — a hand-staged store file must not be able to
+	// OOM the server through a config the request path would have 400ed.
+	if rcfg, ropts := s.eng.Resolve(g, cfg, req.Options); checkConfigBounds(rcfg) == nil {
+		cfg, req.Options = rcfg, ropts
 	}
 	resp := ExecuteResponse{
 		Fingerprint: g.Fingerprint().String(),

@@ -1,0 +1,39 @@
+package suite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildEveryListedName(t *testing.T) {
+	names := Names()
+	if len(names) != 16 { // 6 PC + 4 large PC + 6 SpTRSV
+		t.Fatalf("got %d workload names: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate workload name %q", name)
+		}
+		seen[name] = true
+		// The large PCs are multi-million nodes at scale 1; a tiny scale
+		// keeps this a lookup test, not a generation benchmark.
+		g, err := Build(name, 0.001)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if g.NumNodes() == 0 {
+			t.Fatalf("Build(%q) returned an empty graph", name)
+		}
+	}
+}
+
+func TestBuildUnknownNameListsSuite(t *testing.T) {
+	_, err := Build("nope", 1)
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "tretail") || !strings.Contains(err.Error(), "dw2048") {
+		t.Fatalf("error does not list the valid names: %v", err)
+	}
+}

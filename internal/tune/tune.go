@@ -1,0 +1,201 @@
+// Package tune closes the loop from the paper's design-space exploration
+// to the serving path: where the DSE of §V is a reporting tool (which
+// config is best for a workload suite, fig. 11–13), the Tuner makes the
+// same sweep a per-workload production decision. Given one DAG and a
+// candidate configuration grid, it compiles and simulates the candidates
+// under a wall-clock/point budget (dse.SweepContext + the internal/energy
+// cost model), compares the winner against the configuration requests
+// would otherwise be served on, and emits a persisted, checksummed
+// artifact.Decision the serving engine switches to.
+//
+// The decision is conservative by construction:
+//
+//   - the default config's own score is always measured, and the tuned
+//     config must beat it by MinGain (relative) to be selected — ties
+//     and noise-level wins pin the default, so autotuning can only help;
+//   - an expired budget yields a decision over the points evaluated so
+//     far (provenance records how many), never an error;
+//   - evaluation is deterministic (fixed simulation inputs, a
+//     deterministic compiler per seed, an analytical energy model), so
+//     the same workload, grid and budget-permitting machine produce the
+//     same decision — the property the energy ranking-stability test
+//     pins.
+package tune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/dse"
+)
+
+// Version names the tuning policy in decision provenance; bump when the
+// selection logic changes meaningfully (operators use it to decide which
+// persisted decisions to re-tune).
+const Version = "dpu-tune/1"
+
+// ErrNoFeasiblePoint reports a workload no candidate configuration (nor
+// the default) could compile and run.
+var ErrNoFeasiblePoint = errors.New("tune: no feasible configuration")
+
+// Options configure a Tuner; the zero value sweeps the paper's full
+// 48-point grid for minimum latency with no budget.
+type Options struct {
+	// Grid is the candidate configuration list; nil means dse.Grid(),
+	// the paper's 48-point sweep.
+	Grid []arch.Config
+	// Metric is the optimization target. The default (zero value) is
+	// MinLatency — "the config the DSE says is fastest" — matching the
+	// serving path's goal; offline tuners may prefer MinEDP.
+	Metric dse.Metric
+	// Budget bounds tuning wall time; when it expires the sweep stops
+	// and the decision is made over the points evaluated so far.
+	// 0 means no time bound.
+	Budget time.Duration
+	// MaxPoints bounds how many grid points are evaluated (0: all).
+	// Points are taken from the front of the grid, so callers can order
+	// candidates most-promising-first.
+	MaxPoints int
+	// Workers sizes the sweep's worker pool (<= 0: one per CPU).
+	Workers int
+	// MinGain is the relative improvement over the default config the
+	// winner must show to be selected (0.01 = 1%). Default 0.01; the
+	// tuned score must satisfy score < default·(1−MinGain), so exact
+	// ties always pin the default. Negative values are clamped to 0
+	// (require strictly better) — a gain threshold below zero would let
+	// the tuner select a config *slower* than the default.
+	MinGain float64
+	// Now is the decision-timestamp source, injectable for tests; nil
+	// means time.Now.
+	Now func() time.Time
+}
+
+func (o Options) normalize() Options {
+	if o.Grid == nil {
+		o.Grid = dse.Grid()
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.01
+	} else if o.MinGain < 0 {
+		o.MinGain = 0
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Tuner runs budgeted per-workload configuration searches. It is
+// stateless and safe for concurrent use.
+type Tuner struct {
+	opts Options
+}
+
+// New returns a tuner with the given options.
+func New(opts Options) *Tuner {
+	return &Tuner{opts: opts.normalize()}
+}
+
+// Tune evaluates the candidate grid for g under the tuner's budget and
+// returns the decision: serve g on the winning configuration, or on the
+// default when nothing beat it by MinGain. def is the configuration
+// requests are currently served on (the baseline to beat); copts are the
+// compiler options used for every candidate (they are part of the
+// decision so the tuned artifact's cache key is reproducible).
+//
+// Cancellation of ctx stops the sweep at the next point/workload
+// boundary; the decision is then made over the partial results, exactly
+// like a budget expiry. Tune only errors when not even the default
+// config is usable and no candidate was feasible either.
+func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts compiler.Options) (*artifact.Decision, error) {
+	def = def.Normalize()
+	copts = copts.Normalized()
+	start := t.opts.Now()
+
+	// The default is evaluated first, outside the budgeted sweep — the
+	// budget timer starts only after the baseline is measured, so a
+	// budget too small (or a baseline too slow) never produces a
+	// decision that switches configs on no evidence, and the sweep
+	// always gets the full budget the operator asked for.
+	defScore, defErr := t.evaluate(g, def, copts)
+
+	if t.opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.opts.Budget)
+		defer cancel()
+	}
+
+	grid := make([]arch.Config, 0, len(t.opts.Grid))
+	for _, c := range t.opts.Grid {
+		c = c.Normalize()
+		if c == def {
+			continue // already measured as the baseline
+		}
+		grid = append(grid, c)
+	}
+	// GridSize records the full candidate space (plus the baseline),
+	// captured before any MaxPoints truncation: provenance must show
+	// when a search was not exhaustive, or nobody re-tunes decisions
+	// that deserve it.
+	gridSize := len(grid) + 1
+	if t.opts.MaxPoints > 0 && len(grid) > t.opts.MaxPoints {
+		grid = grid[:t.opts.MaxPoints]
+	}
+
+	points := dse.SweepContext(ctx, []*dag.Graph{g}, grid, copts, t.opts.Workers)
+	evaluated := 0
+	for _, p := range points {
+		if !errors.Is(p.Err, context.Canceled) && !errors.Is(p.Err, context.DeadlineExceeded) {
+			evaluated++
+		}
+	}
+	if defErr == nil {
+		evaluated++ // the baseline measurement
+	}
+
+	d := &artifact.Decision{
+		Fingerprint: g.Fingerprint(),
+		Config:      def,
+		Options:     copts,
+		Score:       defScore,
+		Provenance: artifact.Provenance{
+			Metric:       t.opts.Metric.String(),
+			Default:      def,
+			DefaultScore: defScore,
+			Points:       evaluated,
+			GridSize:     gridSize,
+			BudgetNS:     int64(t.opts.Budget),
+			TunedAtUnix:  start.Unix(),
+			Tuner:        Version,
+		},
+	}
+
+	best, ok := dse.Best(points, t.opts.Metric)
+	switch {
+	case defErr != nil && !ok:
+		return nil, fmt.Errorf("%w: default %v failed (%v) and no candidate was feasible", ErrNoFeasiblePoint, def, defErr)
+	case defErr != nil:
+		// The requested config cannot even run the workload; any feasible
+		// candidate is an improvement.
+		d.Config, d.Score = best.Cfg, t.opts.Metric.Value(best)
+		d.Provenance.DefaultScore = 0 // nothing to compare against
+	case ok && t.opts.Metric.Value(best) < defScore*(1-t.opts.MinGain):
+		d.Config, d.Score = best.Cfg, t.opts.Metric.Value(best)
+	}
+	return d, nil
+}
+
+// evaluate scores one configuration on the tuner's metric.
+func (t *Tuner) evaluate(g *dag.Graph, cfg arch.Config, copts compiler.Options) (float64, error) {
+	est, err := dse.Evaluate(g, cfg, copts)
+	if err != nil {
+		return 0, err
+	}
+	return t.opts.Metric.ValueOf(est), nil
+}
