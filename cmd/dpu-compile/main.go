@@ -29,6 +29,7 @@ import (
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/suite"
+	"dpuv2/internal/verify"
 )
 
 // run is the testable body of the command: parse args, compile, report,
@@ -75,6 +76,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	c, err := compiler.Compile(g, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// Static verification before anything is reported or emitted — the
+	// same everything-we-emit-must-verify assertion the engine's
+	// VerifyCompiles option enforces, at the offline entry point that
+	// feeds shared artifact stores.
+	if fs := verify.Compiled(c); verify.HasErrors(fs) {
+		fmt.Fprintf(stderr, "dpu-compile: compiled program fails static verification (%s):\n", verify.Summary(fs))
+		for _, f := range fs {
+			fmt.Fprintf(stderr, "  %s\n", f)
+		}
 		return 1
 	}
 	st := c.Stats

@@ -123,6 +123,9 @@ func main() {
 		if s.StoreErrors > 0 {
 			log.Printf("dpu-serve: warm-start skipped %d undecodable artifacts in %s", s.StoreErrors, *artifactDir)
 		}
+		if s.VerifyRejects > 0 {
+			log.Printf("dpu-serve: warm-start purged %d artifacts that failed static verification in %s (run dpu-vet for details)", s.VerifyRejects, *artifactDir)
+		}
 		log.Printf("dpu-serve: warm-started %d compiled programs and %d tuning decisions from %s", n, s.StoreTuned, *artifactDir)
 	}
 	srv := serve.New(eng, serve.Options{

@@ -25,6 +25,7 @@ import (
 	"dpuv2/internal/energy"
 	"dpuv2/internal/sim"
 	"dpuv2/internal/suite"
+	"dpuv2/internal/verify"
 )
 
 // run is the testable body of the command; it returns the exit code.
@@ -71,6 +72,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		// A CRC-clean artifact can still be illegal for the machine model;
+		// naming the hazards beats a mid-run simulator fault.
+		if fs := verify.Compiled(a.Compiled); verify.HasErrors(fs) {
+			fmt.Fprintf(stderr, "dpu-sim: %s fails static verification (%s):\n", *artifactPath, verify.Summary(fs))
+			for _, f := range fs {
+				fmt.Fprintf(stderr, "  %s\n", f)
+			}
 			return 1
 		}
 		c = a.Compiled

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// writeArtifacts populates dir with one clean artifact and one clean
+// decision, returning the artifact's encoded bytes for corruption tests.
+func writeArtifacts(t *testing.T, dir string) []byte {
+	t.Helper()
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 4, Interior: 30, MaxArgs: 2, MulFrac: 0.3, Seed: 5})
+	cfg := arch.Config{D: 2, B: 8, R: 16}
+	c, err := compiler.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &artifact.Artifact{Fingerprint: g.Fingerprint(), Options: compiler.Options{}.Normalized(), Compiled: c}
+	ab, err := artifact.EncodeBytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "good"+artifact.Ext), ab, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := &artifact.Decision{
+		Fingerprint: g.Fingerprint(),
+		Config:      c.Prog.Cfg,
+		Options:     compiler.Options{}.Normalized(),
+		Score:       1,
+		Provenance:  artifact.Provenance{Metric: "edp", Default: c.Prog.Cfg, DefaultScore: 1, Tuner: "test"},
+	}
+	db, err := artifact.EncodeDecisionBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "good"+artifact.DecisionExt), db, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return ab
+}
+
+func TestVetCleanDir(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifacts(t, dir)
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on a clean dir; out=%s err=%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 bad") {
+		t.Errorf("summary missing: %s", out.String())
+	}
+}
+
+func TestVetTruncatedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	ab := writeArtifacts(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "trunc"+artifact.Ext), ab[:40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on a truncated artifact, want 1; out=%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 bad") {
+		t.Errorf("summary missing the bad file: %s", out.String())
+	}
+}
+
+// TestVetSemanticallyCorruptArtifact: a CRC-clean artifact whose program
+// is illegal is reported with the verifier's finding class, not a bare
+// "corrupt".
+func TestVetSemanticallyCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	ab := writeArtifacts(t, dir)
+	a, err := artifact.DecodeBytes(ab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrs := a.Compiled.Prog.Instrs
+	i := -1
+	for j, in := range instrs {
+		if in.Kind == arch.KindExec {
+			i = j
+			break
+		}
+	}
+	if i <= 0 {
+		t.Fatal("no exec to displace")
+	}
+	instrs[0], instrs[i] = instrs[i], instrs[0]
+	bad, err := artifact.EncodeBytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "illegal"+artifact.Ext)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{path}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on an illegal artifact, want 1", code)
+	}
+	if !strings.Contains(out.String(), "uninit-read") {
+		t.Errorf("output does not name the finding class: %s", out.String())
+	}
+}
+
+func TestVetJSON(t *testing.T) {
+	dir := t.TempDir()
+	ab := writeArtifacts(t, dir)
+	if err := os.WriteFile(filepath.Join(dir, "trunc"+artifact.Ext), ab[:40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", dir}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var r report
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d not JSON: %v: %s", lines, err, sc.Text())
+		}
+		lines++
+	}
+	if lines != 3 { // good.dpuprog, good.dputune, trunc.dpuprog
+		t.Errorf("got %d JSON reports, want 3", lines)
+	}
+}
+
+func TestVetUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d with no args, want 2", code)
+	}
+}

@@ -184,6 +184,12 @@ func (in *Instr) Validate(cfg Config) error {
 				return fmt.Errorf("arch: exec input select %d ≥ B on port %d", in.InputSel[b], b)
 			}
 			if in.WriteEn[b] {
+				// Bound the select before decoding it: under the crossbar a
+				// decoded select can name any value its bit width admits, and
+				// SelPE on an id ≥ NumPEs would address a nonexistent PE.
+				if cfg.Output == OutCrossbar && int(in.WriteSel[b]) >= cfg.NumPEs() {
+					return fmt.Errorf("arch: exec write select %d ≥ %d PEs on bank %d", in.WriteSel[b], cfg.NumPEs(), b)
+				}
 				p := cfg.SelPE(b, in.WriteSel[b])
 				if !cfg.CanWrite(p, b) {
 					return fmt.Errorf("arch: exec write select %d illegal for bank %d", in.WriteSel[b], b)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -81,10 +82,19 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("artifact: open store: %w", err)
 	}
+	swept := 0
 	for _, ent := range entries {
 		if !ent.IsDir() && strings.HasPrefix(ent.Name(), tmpPrefix) {
-			os.Remove(filepath.Join(dir, ent.Name()))
+			if os.Remove(filepath.Join(dir, ent.Name())) == nil {
+				swept++
+			}
 		}
+	}
+	if swept > 0 {
+		// Worth an operator's attention: it means a previous writer
+		// died mid-Put (or the directory is shared with something
+		// creating .tmp-* files of its own).
+		log.Printf("artifact: store %s: swept %d temp file(s) left by a crashed writer", dir, swept)
 	}
 	return &Store{dir: dir}, nil
 }

@@ -39,6 +39,7 @@ import (
 	"dpuv2/internal/dag"
 	"dpuv2/internal/par"
 	"dpuv2/internal/sim"
+	"dpuv2/internal/verify"
 )
 
 // Options configure an Engine; the zero value is a production-ready
@@ -67,6 +68,13 @@ type Options struct {
 	// background on first sight (implies AutoTune). *tune.Tuner is the
 	// production implementation.
 	Tuner Tuner
+	// VerifyCompiles statically verifies every fresh compilation before
+	// it is served or persisted — the differential debug assertion
+	// "everything we emit must verify". The compiler is already proven
+	// against the verifier by the conformance matrix, so production
+	// leaves this off; test and tuning rigs turn it on to catch a
+	// compiler regression at its source instead of at the next decode.
+	VerifyCompiles bool
 	// DecisionGuard vets a decision's configuration before it is
 	// applied: a decision whose config fails the guard is pinned to the
 	// default instead of served (and surfaced in StoreErrors or
@@ -149,6 +157,16 @@ type Stats struct {
 	StoreErrors int64
 	// Preloaded counts artifacts loaded into the cache by Preload.
 	Preloaded int64
+	// Verified counts decoded artifacts that passed static verification
+	// at an engine trust boundary (store decode, preload, decision
+	// install). Re-admissions of an already-verified content address are
+	// memoized and not re-counted, so this tracks distinct verified keys.
+	Verified int64
+	// VerifyRejects counts artifacts rejected by the static verifier —
+	// treated exactly like checksum failures: the engine purges the file
+	// and falls back to compiling. A nonzero value means something wrote
+	// illegal programs into the store.
+	VerifyRejects int64
 	// TunedHits counts requests Resolve served on a tuned decision's
 	// configuration; StoreTuned counts decisions loaded from the store;
 	// Tunes/TuneErrors/TuneInFlight track background tuning (see
@@ -225,6 +243,14 @@ type Engine struct {
 	storeMisses atomic.Int64
 	storeErrors atomic.Int64
 	preloaded   atomic.Int64
+
+	// Static-verification gate state: every decoded artifact passes
+	// through verifyDecoded before the engine trusts it; the memo makes
+	// that once per content address, not once per decode.
+	verified      atomic.Int64
+	verifyRejects atomic.Int64
+	verifyMu      sync.Mutex
+	verifiedKeys  map[cacheKey]struct{}
 	// persists tracks in-flight async artifact writes; Flush waits on it.
 	persists sync.WaitGroup
 
@@ -243,9 +269,10 @@ type Engine struct {
 // New returns an engine with the given options.
 func New(opts Options) *Engine {
 	return &Engine{
-		opts:    opts.normalize(),
-		entries: make(map[cacheKey]*entry),
-		pools:   make(map[arch.Config]*machinePool),
+		opts:         opts.normalize(),
+		entries:      make(map[cacheKey]*entry),
+		pools:        make(map[arch.Config]*machinePool),
+		verifiedKeys: make(map[cacheKey]struct{}),
 		tune: tuneState{
 			decisions: make(map[dag.Fingerprint]residentDecision),
 			tuning:    make(map[dag.Fingerprint]struct{}),
@@ -312,6 +339,36 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	return c, err
 }
 
+// maxVerifiedKeys bounds the verification memo; past it the memo is
+// cleared (re-verifying is correct, just slower) rather than grown.
+const maxVerifiedKeys = 4096
+
+// verifyDecoded statically verifies a decoded artifact before the
+// engine trusts it, memoized per content address so the serving path
+// pays the verifier once per store key, not once per decode. A false
+// return (counted in Stats.VerifyRejects) means the program carries
+// error-severity findings and must be treated like a checksum failure.
+func (e *Engine) verifyDecoded(k cacheKey, c *compiler.Compiled) bool {
+	e.verifyMu.Lock()
+	_, done := e.verifiedKeys[k]
+	e.verifyMu.Unlock()
+	if done {
+		return true
+	}
+	if fs := verify.Compiled(c); verify.HasErrors(fs) {
+		e.verifyRejects.Add(1)
+		return false
+	}
+	e.verified.Add(1)
+	e.verifyMu.Lock()
+	if len(e.verifiedKeys) >= maxVerifiedKeys {
+		clear(e.verifiedKeys)
+	}
+	e.verifiedKeys[k] = struct{}{}
+	e.verifyMu.Unlock()
+	return true
+}
+
 // resolveMiss produces the compiled program for a cache miss: a backing
 // store is consulted first (a decoded artifact is bit-identical to a
 // fresh compilation and much cheaper); otherwise the graph is compiled
@@ -321,8 +378,15 @@ func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, erro
 		key := artifact.Key{Fingerprint: k.fp, Config: k.cfg, Options: k.opts}
 		switch a, err := st.Get(key); {
 		case err == nil && len(a.Compiled.Remap) == g.NumNodes():
-			e.storeHits.Add(1)
-			return a.Compiled, nil
+			if e.verifyDecoded(k, a.Compiled) {
+				e.storeHits.Add(1)
+				return a.Compiled, nil
+			}
+			// The CRC matched but the program is illegal for the machine
+			// model — semantically corrupt. Same treatment as a checksum
+			// failure: purge the file and fall back to compiling.
+			e.storeErrors.Add(1)
+			st.Remove(key)
 		case err == nil:
 			// Internally consistent artifact, but its remap does not fit
 			// the graph being served — crafted or foreign content at this
@@ -349,6 +413,11 @@ func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, erro
 		cg = g.Clone()
 	}
 	c, err := compiler.Compile(cg, k.cfg, k.opts)
+	if err == nil && e.opts.VerifyCompiles {
+		if fs := verify.Compiled(c); verify.HasErrors(fs) {
+			return nil, fmt.Errorf("engine: compiler emitted a program that fails verification (%s)", verify.Summary(fs))
+		}
+	}
 	if err == nil && e.opts.Store != nil {
 		a := &artifact.Artifact{Fingerprint: k.fp, Options: k.opts, Compiled: c}
 		e.persists.Add(1)
@@ -387,6 +456,14 @@ func (e *Engine) Preload() (n int, err error) {
 			return true
 		}
 		k := cacheKey{fp: a.Fingerprint, cfg: a.Compiled.Prog.Cfg, opts: a.Options}
+		if !e.verifyDecoded(k, a.Compiled) {
+			// Same gate as the decode path: an illegal program must not
+			// warm-start into the serving cache. Purge it so the next
+			// compile of the key persists a clean replacement.
+			e.storeErrors.Add(1)
+			st.Remove(a.Key())
+			return true
+		}
 		e.mu.Lock()
 		full := len(e.entries) >= e.opts.CacheSize
 		if _, ok := e.entries[k]; !ok && !full {
@@ -729,6 +806,8 @@ func (e *Engine) Stats() Stats {
 	s.StoreMisses = e.storeMisses.Load()
 	s.StoreErrors = e.storeErrors.Load()
 	s.Preloaded = e.preloaded.Load()
+	s.Verified = e.verified.Load()
+	s.VerifyRejects = e.verifyRejects.Load()
 	s.TunedHits = e.tunedHits.Load()
 	s.StoreTuned = e.storeTuned.Load()
 	s.Tunes = e.tunes.Load()

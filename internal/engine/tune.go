@@ -125,13 +125,30 @@ func (e *Engine) Resolve(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	return cfg, opts
 }
 
-// admitDecision vets a decision against the configured guard: an
-// admitted decision is installed with its source, a rejected one
-// becomes a pinned default (the caller accounts the rejection by
-// source).
+// admitDecision vets a decision before it is installed: the configured
+// guard must accept its configuration, and when the store holds a
+// pre-compiled program at the decision's exact content address, that
+// program must pass static verification — a tuned decision may not
+// switch traffic onto an illegal artifact. An admitted decision is
+// installed with its source, a rejected one becomes a pinned default
+// (the caller accounts the rejection by source). Performs store IO:
+// callers must not hold tuneMu.
 func (e *Engine) admitDecision(d *artifact.Decision, source string) residentDecision {
 	if g := e.opts.DecisionGuard; g != nil && g(d.Config) != nil {
 		return residentDecision{}
+	}
+	if st := e.opts.Store; st != nil {
+		key := artifact.Key{Fingerprint: d.Fingerprint, Config: d.Config.Normalize(), Options: d.Options.Normalized()}
+		k := cacheKey{fp: key.Fingerprint, cfg: key.Config, opts: key.Options}
+		if a, err := st.Get(key); err == nil && !e.verifyDecoded(k, a.Compiled) {
+			// The decision's pre-compiled program is semantically corrupt:
+			// purge it and keep serving the default config. (A missing or
+			// undecodable artifact is not a rejection — the config switch
+			// would just compile on first use, and Get already evicts
+			// decode failures.)
+			st.Remove(key)
+			return residentDecision{}
+		}
 	}
 	return residentDecision{d: d, source: source}
 }
@@ -170,6 +187,13 @@ func (e *Engine) probeDecision(g *dag.Graph, fp dag.Fingerprint, cfg arch.Config
 		}
 	}
 
+	// Admission does store IO (guard check plus artifact verification),
+	// so it runs before tuneMu is re-taken.
+	var admitted residentDecision
+	if stored != nil {
+		admitted = e.admitDecision(stored, "store")
+	}
+
 	e.tuneMu.Lock()
 	defer e.tuneMu.Unlock()
 	delete(e.tune.probing, fp)
@@ -192,14 +216,13 @@ func (e *Engine) probeDecision(g *dag.Graph, fp dag.Fingerprint, cfg arch.Config
 		return residentDecision{}, false
 	}
 	if stored != nil {
-		r := e.admitDecision(stored, "store")
-		e.tune.decisions[fp] = r
-		if r.d != nil {
+		e.tune.decisions[fp] = admitted
+		if admitted.d != nil {
 			e.storeTuned.Add(1)
 		} else {
-			e.storeErrors.Add(1) // guard-rejected store content
+			e.storeErrors.Add(1) // guard- or verifier-rejected store content
 		}
-		return r, true
+		return admitted, true
 	}
 	if e.opts.Tuner == nil {
 		// No way to decide: pin the default so this fingerprint never

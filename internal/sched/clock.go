@@ -26,8 +26,17 @@ var SystemClock Clock = systemClock{}
 
 type systemClock struct{}
 
+// Now reads the wall clock. This is the one sanctioned call site:
+// everything else in sched/serve must go through a Clock so tests stay
+// deterministic (enforced by internal/lint).
+//
+//lint:allow clockuse
 func (systemClock) Now() time.Time { return time.Now() }
 
+// AfterFunc arms a real timer; see Now for why this is the only place
+// allowed to touch package time directly.
+//
+//lint:allow clockuse
 func (systemClock) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
 
 // FakeClock is a manually advanced Clock for deterministic tests: time

@@ -22,7 +22,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dpuv2/internal/arch"
 	"dpuv2/internal/compiler"
@@ -111,6 +110,10 @@ type Server struct {
 	eng  *engine.Engine
 	sch  *sched.Scheduler
 	opts Options
+	// clock is the scheduler's clock, shared so that request latency is
+	// measured on the same (possibly fake) timeline the batching policy
+	// runs on.
+	clock sched.Clock
 
 	draining atomic.Bool
 	// drainMu is held shared by every in-flight /execute handler and
@@ -127,9 +130,13 @@ type Server struct {
 // New builds a Server around eng.
 func New(eng *engine.Engine, opts Options) *Server {
 	s := &Server{
-		eng:  eng,
-		sch:  sched.New(eng, opts.Sched),
-		opts: opts.normalize(),
+		eng:   eng,
+		sch:   sched.New(eng, opts.Sched),
+		opts:  opts.normalize(),
+		clock: opts.Sched.Clock,
+	}
+	if s.clock == nil {
+		s.clock = sched.SystemClock
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -204,9 +211,9 @@ func checkConfigBounds(cfg arch.Config) error {
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.clock.Now()
 	s.requests.Add(1)
-	defer func() { s.latency.ObserveDuration(time.Since(start)) }()
+	defer func() { s.latency.ObserveDuration(s.clock.Now().Sub(start)) }()
 	if r.Method != http.MethodPost {
 		s.fail(w, "POST only", http.StatusMethodNotAllowed)
 		return

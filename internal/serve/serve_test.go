@@ -380,6 +380,12 @@ func TestServeStatsSchemaRoundTrip(t *testing.T) {
 	if st.Sched.QueueDepth != 0 || st.Sched.QueueLimit <= 0 {
 		t.Errorf("queue depth/limit = %d/%d", st.Sched.QueueDepth, st.Sched.QueueLimit)
 	}
+	// The verifier-gate counters must be on the wire (zero here — this
+	// server has no store, so nothing crossed a verify boundary).
+	if !bytes.Contains(buf.Bytes(), []byte(`"Verified"`)) ||
+		!bytes.Contains(buf.Bytes(), []byte(`"VerifyRejects"`)) {
+		t.Errorf("engine stats missing verifier counters: %s", buf.Bytes())
+	}
 }
 
 // TestServeGracefulDrain: requests in flight when the drain starts

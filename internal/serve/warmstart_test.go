@@ -16,6 +16,7 @@ import (
 	"dpuv2/internal/engine"
 	"dpuv2/internal/pc"
 	"dpuv2/internal/sched"
+	"dpuv2/internal/verify"
 )
 
 // warmGraph is the fig.-scale PC serving workload (the same mid-size
@@ -174,6 +175,14 @@ func TestWarmStartDecodeFasterThanCompile(t *testing.T) {
 //	                    server (preload untimed); the engine never
 //	                    compiles (asserted).
 //	decode-from-store — store lookup + decode alone.
+//	verify-decoded    — the static verifier over the decoded program:
+//	                    what the engine's trust-boundary gate adds the
+//	                    ONE time it verifies a store key. The engine
+//	                    memoizes verification per key (verifiedKeys), so
+//	                    this cost is paid once per artifact per process,
+//	                    not per request — amortized it is well under the
+//	                    "<10% of decode" budget, and even unamortized it
+//	                    is the same order as a single decode.
 //	cold-compile      — what the same miss costs without a store.
 func BenchmarkServeWarmStart(b *testing.B) {
 	g, text, inputs := warmGraph(b)
@@ -215,6 +224,17 @@ func BenchmarkServeWarmStart(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := st.Get(key); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("verify-decoded", func(b *testing.B) {
+		a, err := st.Get(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if fs := verify.Compiled(a.Compiled); verify.HasErrors(fs) {
+				b.Fatalf("store artifact fails verification: %s", verify.Summary(fs))
 			}
 		}
 	})

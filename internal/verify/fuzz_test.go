@@ -1,0 +1,39 @@
+package verify_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpuv2/internal/artifact"
+	"dpuv2/internal/verify"
+)
+
+// FuzzVerifyProgram feeds arbitrary bytes through the artifact decoder
+// and, for anything that decodes, requires the verifier to terminate
+// without panicking — the no-crash half of the verifier contract. (The
+// accept-all half is TestGoldenFixturesVerifyClean and the conformance
+// matrix.) The seed corpus is the golden .dpuprog fixtures, so the
+// fuzzer starts from genuine programs and mutates toward near-valid
+// encodings, the interesting region for a decoder-adjacent analyzer.
+func FuzzVerifyProgram(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "artifact", "testdata", "*.dpuprog"))
+	if len(paths) == 0 {
+		f.Fatal("no golden fixtures for the seed corpus")
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := artifact.DecodeBytes(data)
+		if err != nil {
+			return // decoder rejected it; not the verifier's problem
+		}
+		_ = verify.Compiled(a.Compiled)
+		_ = verify.Program(a.Compiled.Prog, a.Compiled.Prog.Cfg)
+	})
+}

@@ -1,0 +1,275 @@
+package verify_test
+
+import (
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/verify"
+)
+
+// goodCompiled builds a known-good compiled program for the mutation
+// tests. Each subtest compiles its own copy so mutations cannot leak.
+func goodCompiled(t *testing.T) *compiler.Compiled {
+	t.Helper()
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 8, Interior: 80, MaxArgs: 2, MulFrac: 0.5, Seed: 7})
+	cfg := arch.Config{D: 2, B: 8, R: 16, Output: arch.OutCrossbar}
+	c, err := compiler.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if fs := verify.Compiled(c); verify.HasErrors(fs) {
+		t.Fatalf("baseline program is not clean: %s", verify.Summary(fs))
+	}
+	return c
+}
+
+// requireClass asserts that the findings contain at least one
+// error-severity finding of the given class — the "exact finding class
+// per mutation" acceptance criterion.
+func requireClass(t *testing.T, fs []verify.Finding, want verify.Class) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Sev == verify.SevError && f.Class == want {
+			return
+		}
+	}
+	for _, f := range fs {
+		t.Logf("  %s", f)
+	}
+	t.Fatalf("no %s error finding (got %d findings)", want, len(fs))
+}
+
+// firstExec returns the index of the first exec instruction with at
+// least one active leaf PE (so it demonstrably reads registers).
+func firstExec(t *testing.T, c *compiler.Compiled) int {
+	t.Helper()
+	cfg := c.Prog.Cfg
+	for i, in := range c.Prog.Instrs {
+		if in.Kind != arch.KindExec {
+			continue
+		}
+		for id, op := range in.PEOps {
+			if op != arch.PEIdle && cfg.PECoord(id).Layer == 1 {
+				return i
+			}
+		}
+	}
+	t.Fatal("no exec instruction with an active leaf PE")
+	return -1
+}
+
+// TestMutationClasses corrupts a known-good program one way at a time
+// and asserts the verifier rejects each corruption with the finding
+// class that names the actual hazard.
+func TestMutationClasses(t *testing.T) {
+	t.Run("swap-exec-before-loads", func(t *testing.T) {
+		// Reordering the schedule breaks def-before-use: an exec issued at
+		// pc 0 reads registers no load has written yet.
+		c := goodCompiled(t)
+		i := firstExec(t, c)
+		c.Prog.Instrs[0], c.Prog.Instrs[i] = c.Prog.Instrs[i], c.Prog.Instrs[0]
+		requireClass(t, verify.Compiled(c), verify.ClassUninitRead)
+	})
+
+	t.Run("read-addr-past-R", func(t *testing.T) {
+		c := goodCompiled(t)
+		in := c.Prog.Instrs[firstExec(t, c)]
+		for b, en := range in.ReadEn {
+			if en {
+				in.ReadAddr[b] = uint16(c.Prog.Cfg.R)
+				break
+			}
+		}
+		requireClass(t, verify.Compiled(c), verify.ClassResource)
+	})
+
+	t.Run("store-row-out-of-bounds", func(t *testing.T) {
+		c := goodCompiled(t)
+		cfg := c.Prog.Cfg
+		found := false
+		for _, in := range c.Prog.Instrs {
+			if in.Kind == arch.KindStore || in.Kind == arch.KindStore4 {
+				in.MemAddr = cfg.DataMemWords / cfg.B
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("no store instruction to mutate")
+		}
+		requireClass(t, verify.Compiled(c), verify.ClassMemBounds)
+	})
+
+	t.Run("read-enable-cleared", func(t *testing.T) {
+		// Clearing a read enable under an active port starves the PE: the
+		// crossbar routes a bank nothing drives this cycle.
+		c := goodCompiled(t)
+		cfg := c.Prog.Cfg
+		in := c.Prog.Instrs[firstExec(t, c)]
+		port := -1
+		for id, op := range in.PEOps {
+			p := cfg.PECoord(id)
+			if op == arch.PEIdle || p.Layer != 1 {
+				continue
+			}
+			l, r := cfg.InputPorts(p)
+			if op == arch.PEBypassR {
+				port = r
+			} else {
+				port = l
+			}
+			break
+		}
+		in.ReadEn[in.InputSel[port]] = false
+		requireClass(t, verify.Compiled(c), verify.ClassDeadOperand)
+	})
+
+	t.Run("output-word-out-of-range", func(t *testing.T) {
+		c := goodCompiled(t)
+		sink := c.Graph.Outputs()[0]
+		c.OutputWord[sink] = c.Prog.Cfg.DataMemWords
+		requireClass(t, verify.Compiled(c), verify.ClassMapping)
+	})
+
+	t.Run("output-word-never-written", func(t *testing.T) {
+		c := goodCompiled(t)
+		sink := c.Graph.Outputs()[0]
+		w := c.Prog.Cfg.DataMemWords - 1
+		if w < len(c.Prog.InitMem) {
+			t.Fatal("picked word is inside the init image")
+		}
+		c.OutputWord[sink] = w
+		requireClass(t, verify.Compiled(c), verify.ClassMapping)
+	})
+
+	t.Run("crossbar-write-sel-past-numpes", func(t *testing.T) {
+		// A decoded crossbar write select can name any value its bit width
+		// admits; one past NumPEs would index the simulator's liveness
+		// array out of range. Both Validate and the verifier must reject
+		// it.
+		cfg := arch.Config{D: 2, B: 4, R: 4, Output: arch.OutCrossbar}.Normalize()
+		in := arch.NewExec(cfg)
+		in.WriteEn[0] = true
+		in.WriteSel[0] = uint16(cfg.NumPEs())
+		if err := in.Validate(cfg); err == nil {
+			t.Error("Validate accepted a write select past NumPEs")
+		}
+		p := &arch.Program{Cfg: cfg, Instrs: []*arch.Instr{in}}
+		requireClass(t, verify.Program(p, cfg), verify.ClassResource)
+	})
+}
+
+// TestSyntheticHazards hand-builds programs around the two hazards a
+// single-instruction mutation cannot easily reach — landing-write
+// conflicts and bank overflow — plus the free-list discipline cases.
+func TestSyntheticHazards(t *testing.T) {
+	t.Run("write-conflict", func(t *testing.T) {
+		// Timeline (D=2, ring latency exec=+2, load=+1):
+		//   pc0 load row0, all lanes     → lands end of cycle 1
+		//   pc1 nop                        (let the loads land)
+		//   pc2 exec, root writes bank 0 → lands cycle 4
+		//   pc3 load lane 0              → lands cycle 4: conflict
+		cfg := arch.Config{D: 2, B: 4, R: 4, Output: arch.OutCrossbar}.Normalize()
+		var p arch.Program
+		p.Cfg = cfg
+
+		ld := arch.NewLoad(cfg, 0)
+		for i := range ld.Mask {
+			ld.Mask[i] = true
+		}
+		p.MustAppend(ld)
+		p.MustAppend(&arch.Instr{Kind: arch.KindNop})
+
+		ex := arch.NewExec(cfg)
+		ex.PEOps[0] = arch.PEAdd     // leaf PE 0 reads ports 0,1
+		ex.PEOps[2] = arch.PEBypassL // root forwards the leaf's sum
+		ex.ReadEn[0], ex.ReadEn[1] = true, true
+		ex.InputSel[0], ex.InputSel[1] = 0, 1
+		ex.WriteEn[0] = true
+		ex.WriteSel[0] = 2 // root PE id
+		p.MustAppend(ex)
+
+		ld2 := arch.NewLoad(cfg, 0)
+		ld2.Mask[0] = true
+		p.MustAppend(ld2)
+
+		requireClass(t, verify.Program(&p, cfg), verify.ClassWriteConflict)
+	})
+
+	t.Run("bank-overflow", func(t *testing.T) {
+		// R=2 and three full-row loads with no frees: the third landing
+		// write finds its bank full.
+		cfg := arch.Config{D: 1, B: 2, R: 2, Output: arch.OutCrossbar}.Normalize()
+		var p arch.Program
+		p.Cfg = cfg
+		for i := 0; i < 3; i++ {
+			ld := arch.NewLoad(cfg, 0)
+			ld.Mask[0], ld.Mask[1] = true, true
+			p.MustAppend(ld)
+		}
+		requireClass(t, verify.Program(&p, cfg), verify.ClassBankOverflow)
+	})
+
+	t.Run("use-after-free", func(t *testing.T) {
+		// An exec reads bank 0 with valid_rst, freeing the register; a
+		// later exec reads the same address again.
+		cfg := arch.Config{D: 1, B: 2, R: 2, Output: arch.OutCrossbar}.Normalize()
+		var p arch.Program
+		p.Cfg = cfg
+
+		ld := arch.NewLoad(cfg, 0)
+		ld.Mask[0], ld.Mask[1] = true, true
+		p.MustAppend(ld)
+		p.MustAppend(&arch.Instr{Kind: arch.KindNop})
+
+		ex := arch.NewExec(cfg)
+		ex.PEOps[0] = arch.PEAdd
+		ex.ReadEn[0], ex.ReadEn[1] = true, true
+		ex.InputSel[0], ex.InputSel[1] = 0, 1
+		ex.ValidRst[0] = true
+		p.MustAppend(ex)
+
+		ex2 := arch.NewExec(cfg)
+		ex2.PEOps[0] = arch.PEBypassL
+		ex2.ReadEn[0] = true
+		ex2.InputSel[0] = 0
+		p.MustAppend(ex2)
+
+		fs := verify.Program(&p, cfg)
+		requireClass(t, fs, verify.ClassUninitRead)
+		found := false
+		for _, f := range fs {
+			if f.Class == verify.ClassUninitRead && f.PC == 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("use-after-free not anchored to pc 3: %v", fs)
+		}
+	})
+
+	t.Run("idle-pe-write", func(t *testing.T) {
+		cfg := arch.Config{D: 1, B: 2, R: 2, Output: arch.OutCrossbar}.Normalize()
+		ex := arch.NewExec(cfg)
+		ex.WriteEn[0] = true
+		ex.WriteSel[0] = 0 // the only PE — left idle
+		p := &arch.Program{Cfg: cfg, Instrs: []*arch.Instr{ex}}
+		requireClass(t, verify.Program(p, cfg), verify.ClassDeadOperand)
+	})
+
+	t.Run("dead-reset-is-warning-only", func(t *testing.T) {
+		cfg := arch.Config{D: 1, B: 2, R: 2, Output: arch.OutCrossbar}.Normalize()
+		ex := arch.NewExec(cfg)
+		ex.ValidRst[0] = true // no read anywhere: the bit frees nothing
+		p := &arch.Program{Cfg: cfg, Instrs: []*arch.Instr{ex}}
+		fs := verify.Program(p, cfg)
+		if verify.HasErrors(fs) {
+			t.Fatalf("dead reset must not be an error: %s", verify.Summary(fs))
+		}
+		if len(fs) == 0 || fs[0].Class != verify.ClassDeadReset {
+			t.Fatalf("want a dead-reset warning, got %v", fs)
+		}
+	})
+}
