@@ -78,6 +78,7 @@ import (
 	"dpuv2/internal/engine"
 	"dpuv2/internal/sched"
 	"dpuv2/internal/serve"
+	"dpuv2/internal/sim"
 	"dpuv2/internal/tune"
 )
 
@@ -91,12 +92,17 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4096, "admitted-but-unfinished executions before 429s")
 	maxInputs := flag.Int("max-inputs", 1024, "input vectors allowed per request before 413s")
 	unbatched := flag.Bool("unbatched", false, "bypass the batching scheduler (PR 2 behavior)")
+	backendName := flag.String("backend", "functional", "execution backend: functional (fast path, the default) or cycle (cycle-accurate simulation)")
 	artifactDir := flag.String("artifact-dir", "", "persistent compiled-program store: preload .dpuprog artifacts and .dputune decisions at boot, persist new ones")
 	autotune := flag.Bool("autotune", false, "serve each graph fingerprint on its tuned config (stored .dputune decisions; unseen fingerprints tune in the background)")
 	tuneBudget := flag.Duration("tune-budget", 30*time.Second, "wall-clock budget per background tune (with -autotune)")
 	tuneMetric := flag.String("tune-metric", "latency", "background-tune optimization target: latency, energy or edp")
 	flag.Parse()
 
+	backend, err := sim.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var store *artifact.Store
 	if *artifactDir != "" {
 		var err error
@@ -113,7 +119,7 @@ func main() {
 		tuner = tune.New(tune.Options{Metric: metric, Budget: *tuneBudget})
 	}
 	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool,
-		Store: store, AutoTune: *autotune, Tuner: tuner})
+		Store: store, AutoTune: *autotune, Tuner: tuner, Backend: backend})
 	if store != nil {
 		n, err := eng.Preload()
 		if err != nil {
@@ -156,8 +162,8 @@ func main() {
 		close(done)
 	}()
 
-	log.Printf("dpu-serve listening on %s (cache=%d max-batch=%d linger=%v queue-depth=%d batched=%v)",
-		*addr, *cache, *maxBatch, *linger, *queueDepth, !*unbatched)
+	log.Printf("dpu-serve listening on %s (backend=%s cache=%d max-batch=%d linger=%v queue-depth=%d batched=%v)",
+		*addr, backend, *cache, *maxBatch, *linger, *queueDepth, !*unbatched)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

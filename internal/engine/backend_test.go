@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/sim"
+)
+
+// sameBits mirrors internal/sim's cross-backend value contract:
+// bitwise identity except NaN, where both sides must be NaN (payload
+// propagation is implementation-defined).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// TestBackendDifferential runs the same population of graphs and inputs
+// through a functional-backend engine and a cycle-accurate engine, over
+// both the single-item and batched execute paths, and requires
+// bit-identical outputs and identical cycle counts everywhere. This is
+// the engine-level leg of the tentpole's bit-exactness claim — it
+// exercises the executor pools, not bare executors.
+func TestBackendDifferential(t *testing.T) {
+	fn := New(Options{CacheSize: 8, Workers: 2, PoolSize: 2, Backend: sim.BackendFunctional})
+	cy := New(Options{CacheSize: 8, Workers: 2, PoolSize: 2, Backend: sim.BackendCycleAccurate})
+	cfgs := []arch.Config{
+		{D: 1, B: 4, R: 8},
+		{D: 2, B: 8, R: 16},
+		{D: 3, B: 16, R: 32},
+	}
+	for gi := 0; gi < 4; gi++ {
+		g := dag.RandomGraph(dag.RandomConfig{
+			Inputs: 4 + gi, Interior: 40 + 20*gi, MaxArgs: 2 + gi%3, MulFrac: 0.4, Seed: int64(gi) + 900,
+		})
+		cfg := cfgs[gi%len(cfgs)]
+		c, err := compiler.Compile(g, cfg, compiler.Options{})
+		if err != nil {
+			t.Fatalf("graph %d: %v", gi, err)
+		}
+		nIn, nOut := len(c.Graph.Inputs()), len(c.Graph.Outputs())
+		rng := rand.New(rand.NewSource(int64(gi)))
+
+		// Single-item path.
+		fOut, cOut := make([]float64, nOut), make([]float64, nOut)
+		for trial := 0; trial < 3; trial++ {
+			inputs := make([]float64, nIn)
+			for i := range inputs {
+				inputs[i] = rng.Float64()*8 - 4
+			}
+			if trial == 2 && nIn > 0 {
+				inputs[0] = math.Inf(1) // non-finite through the pooled path too
+			}
+			fc, err := fn.ExecuteInto(c, inputs, fOut)
+			if err != nil {
+				t.Fatalf("graph %d functional: %v", gi, err)
+			}
+			cc, err := cy.ExecuteInto(c, inputs, cOut)
+			if err != nil {
+				t.Fatalf("graph %d cycle: %v", gi, err)
+			}
+			if fc != cc {
+				t.Errorf("graph %d trial %d: cycles %d (functional) vs %d (cycle)", gi, trial, fc, cc)
+			}
+			for i := range fOut {
+				if !sameBits(fOut[i], cOut[i]) {
+					t.Errorf("graph %d trial %d sink %d: functional %v, cycle %v", gi, trial, i, fOut[i], cOut[i])
+				}
+			}
+		}
+
+		// Batched path.
+		const items = 12
+		batches := make([][]float64, items)
+		for b := range batches {
+			batches[b] = make([]float64, nIn)
+			for i := range batches[b] {
+				batches[b][i] = rng.Float64()*8 - 4
+			}
+		}
+		fOuts, cOuts := makeOuts(items, nOut), makeOuts(items, nOut)
+		fCycles, cCycles := make([]int, items), make([]int, items)
+		fErrs, cErrs := make([]error, items), make([]error, items)
+		fn.ExecuteBatchInto(c, batches, fOuts, fCycles, fErrs)
+		cy.ExecuteBatchInto(c, batches, cOuts, cCycles, cErrs)
+		for b := 0; b < items; b++ {
+			if fErrs[b] != nil || cErrs[b] != nil {
+				t.Fatalf("graph %d batch %d: functional err %v, cycle err %v", gi, b, fErrs[b], cErrs[b])
+			}
+			if fCycles[b] != cCycles[b] {
+				t.Errorf("graph %d batch %d: cycles %d vs %d", gi, b, fCycles[b], cCycles[b])
+			}
+			for i := range fOuts[b] {
+				if !sameBits(fOuts[b][i], cOuts[b][i]) {
+					t.Errorf("graph %d batch %d sink %d: functional %v, cycle %v", gi, b, i, fOuts[b][i], cOuts[b][i])
+				}
+			}
+		}
+	}
+}
+
+func makeOuts(items, width int) [][]float64 {
+	outs := make([][]float64, items)
+	for i := range outs {
+		outs[i] = make([]float64, width)
+	}
+	return outs
+}
+
+// TestStatsReportBackend: /stats consumers see which backend an engine
+// is running, and the default is the functional fast path.
+func TestStatsReportBackend(t *testing.T) {
+	if got := New(Options{CacheSize: 4}).Stats().Backend; got != "functional" {
+		t.Errorf("default backend reported as %q, want functional", got)
+	}
+	if got := New(Options{CacheSize: 4, Backend: sim.BackendCycleAccurate}).Stats().Backend; got != "cycle" {
+		t.Errorf("cycle-accurate engine reported as %q, want cycle", got)
+	}
+}
+
+// TestStressMixedBackends runs two engines with different backends
+// under concurrent load against the same compiled programs, checking
+// bit-equality between backends on every item. Run under -race in CI:
+// it exercises concurrent leases of both pool flavors (machines and
+// functional evaluators) plus the shared compile cache inside each
+// engine.
+func TestStressMixedBackends(t *testing.T) {
+	fn := New(Options{CacheSize: 8, Workers: 4, PoolSize: 4, Backend: sim.BackendFunctional})
+	cy := New(Options{CacheSize: 8, Workers: 4, PoolSize: 4, Backend: sim.BackendCycleAccurate})
+	var compiled []*compiler.Compiled
+	for gi := 0; gi < 3; gi++ {
+		g := dag.RandomGraph(dag.RandomConfig{
+			Inputs: 5, Interior: 50, MaxArgs: 3, MulFrac: 0.5, Seed: int64(gi) + 500,
+		})
+		c, err := compiler.Compile(g, arch.Config{D: 2, B: 8, R: 16}, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled = append(compiled, c)
+	}
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < iters; it++ {
+				c := compiled[(w+it)%len(compiled)]
+				inputs := make([]float64, len(c.Graph.Inputs()))
+				for i := range inputs {
+					inputs[i] = rng.Float64()*6 - 3
+				}
+				nOut := len(c.Graph.Outputs())
+				fOut, cOut := make([]float64, nOut), make([]float64, nOut)
+				fc, err := fn.ExecuteInto(c, inputs, fOut)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d functional: %w", w, err)
+					return
+				}
+				cc, err := cy.ExecuteInto(c, inputs, cOut)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d cycle: %w", w, err)
+					return
+				}
+				if fc != cc {
+					errc <- fmt.Errorf("worker %d iter %d: cycles %d vs %d", w, it, fc, cc)
+					return
+				}
+				for i := range fOut {
+					if !sameBits(fOut[i], cOut[i]) {
+						errc <- fmt.Errorf("worker %d iter %d sink %d: %v vs %v", w, it, i, fOut[i], cOut[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -8,9 +8,11 @@
 //     compiler options, LRU-bounded, with single-flight admission so
 //     concurrent requests for the same graph compile it exactly once;
 //
-//   - a per-configuration pool of sim.Machine instances; Machine.Reset
-//     makes a pooled machine observationally identical to a fresh one,
-//     so steady-state execution allocates nothing;
+//   - a per-configuration pool of sim.Executor instances — functional
+//     fast-path evaluators by default, cycle-accurate machines via
+//     Options.Backend (Machine.Reset makes a pooled machine
+//     observationally identical to a fresh one) — so steady-state
+//     execution allocates nothing whichever backend serves;
 //
 //   - batched execution fanning input sets out over the internal/par
 //     worker pool with per-item error capture;
@@ -84,6 +86,16 @@ type Options struct {
 	// to CheckMachineBounds; install a custom policy (or a func
 	// returning nil) to widen it.
 	DecisionGuard func(arch.Config) error
+	// Backend selects the execution backend the engine leases from its
+	// per-config pools. The default, sim.BackendFunctional, evaluates
+	// the compiled schedule directly — bit-exact with the cycle-accurate
+	// machine (the conformance matrix and fuzz layer pin it) and much
+	// faster, which is right for serving: clients need outputs, not
+	// micro-architectural statistics. Select sim.BackendCycleAccurate
+	// for callers that need the machine's full Stats (reg/mem traffic,
+	// peak occupancy); cycle *counts* are exact under both backends —
+	// the schedule is static, so Cycles is a compile-time constant.
+	Backend sim.Backend
 }
 
 // CheckMachineBounds rejects configurations whose machine state would
@@ -132,6 +144,9 @@ func (o Options) normalize() Options {
 
 // Stats is a point-in-time snapshot of engine activity.
 type Stats struct {
+	// Backend is the active execution backend ("functional" or
+	// "cycle"), surfaced so /stats shows which path answers traffic.
+	Backend string
 	// Hits counts Compile calls answered from the cache (including
 	// waits on a compilation already in flight).
 	Hits int64
@@ -178,10 +193,10 @@ type Stats struct {
 	TuneInFlight int64
 	// Decisions is the number of resident autotuning decisions.
 	Decisions int
-	// Pools reports the idle (free) machines retained per configuration,
-	// keyed by the config's String() — the observable footprint of the
-	// machine pool, and how operators watch a tuned config's pool grow
-	// as traffic switches onto it.
+	// Pools reports the idle (free) executors retained per
+	// configuration, keyed by the config's String() — the observable
+	// footprint of the executor pool, and how operators watch a tuned
+	// config's pool grow as traffic switches onto it.
 	Pools map[string]int
 }
 
@@ -214,11 +229,14 @@ func (e *entry) completed() bool {
 	}
 }
 
-// machinePool is the free list of reset-ready machines for one
-// configuration.
-type machinePool struct {
+// executorPool is the free list of leased-out-and-returned executors
+// for one configuration — cycle-accurate machines or functional
+// evaluators, per Options.Backend. Executors come back dirty; every
+// lease re-initializes against the next program (RunOn resets machines,
+// the functional walk overwrites its whole scratch).
+type executorPool struct {
 	mu   sync.Mutex
-	free []*sim.Machine
+	free []sim.Executor
 }
 
 // Engine is a compile-once/execute-many server. It is safe for
@@ -234,7 +252,7 @@ type Engine struct {
 	evictions  int64
 
 	poolMu sync.Mutex
-	pools  map[arch.Config]*machinePool
+	pools  map[arch.Config]*executorPool
 
 	inFlight   atomic.Int64
 	executions atomic.Int64
@@ -271,7 +289,7 @@ func New(opts Options) *Engine {
 	return &Engine{
 		opts:         opts.normalize(),
 		entries:      make(map[cacheKey]*entry),
-		pools:        make(map[arch.Config]*machinePool),
+		pools:        make(map[arch.Config]*executorPool),
 		verifiedKeys: make(map[cacheKey]struct{}),
 		tune: tuneState{
 			decisions: make(map[dag.Fingerprint]residentDecision),
@@ -599,18 +617,19 @@ func (e *Engine) evictLocked() {
 // ever ran); configs beyond the bound simply run unpooled.
 const maxConfigPools = 64
 
-// getMachine pops a pooled machine for cfg or builds a new one. cfg must
-// already be normalized (compiled programs carry a normalized config).
-func (e *Engine) getMachine(cfg arch.Config) *sim.Machine {
+// getExecutor leases a pooled executor for cfg or builds a new one of
+// the engine's configured backend. cfg must already be normalized
+// (compiled programs carry a normalized config).
+func (e *Engine) getExecutor(cfg arch.Config) sim.Executor {
 	e.poolMu.Lock()
 	p := e.pools[cfg]
 	if p == nil && len(e.pools) < maxConfigPools {
-		p = &machinePool{}
+		p = &executorPool{}
 		e.pools[cfg] = p
 	}
 	e.poolMu.Unlock()
 	if p == nil {
-		return sim.NewMachine(cfg, nil)
+		return sim.NewExecutor(e.opts.Backend, cfg)
 	}
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
@@ -621,13 +640,14 @@ func (e *Engine) getMachine(cfg arch.Config) *sim.Machine {
 		return m
 	}
 	p.mu.Unlock()
-	return sim.NewMachine(cfg, nil)
+	return sim.NewExecutor(e.opts.Backend, cfg)
 }
 
-// putMachine returns a machine to its configuration's pool, dropping it
-// when the pool is full. The machine is handed back dirty; RunOn resets
-// it against the next program's memory image before any use.
-func (e *Engine) putMachine(m *sim.Machine) {
+// putExecutor returns an executor to its configuration's pool, dropping
+// it when the pool is full. The executor is handed back dirty; the next
+// lease re-initializes it against its program (RunOn resets machines)
+// before any use.
+func (e *Engine) putExecutor(m sim.Executor) {
 	e.poolMu.Lock()
 	p := e.pools[m.Config()]
 	e.poolMu.Unlock()
@@ -641,17 +661,18 @@ func (e *Engine) putMachine(m *sim.Machine) {
 	p.mu.Unlock()
 }
 
-// ExecuteInto runs a compiled program on a pooled machine, writing the
+// ExecuteInto runs a compiled program on a pooled executor, writing the
 // sink values (in c.Graph.Outputs() order) into out and returning the
-// cycle count. Steady state allocates nothing: the machine, its scratch,
-// and the stats buckets are all reused.
+// cycle count — exact under either backend, because the schedule is
+// static. Steady state allocates nothing: the executor, its scratch,
+// and (for machines) the stats buckets are all reused.
 func (e *Engine) ExecuteInto(c *compiler.Compiled, inputs, out []float64) (cycles int, err error) {
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
-	m := e.getMachine(c.Prog.Cfg)
-	err = sim.RunOn(m, c, inputs, out)
+	m := e.getExecutor(c.Prog.Cfg)
+	err = m.ExecuteInto(c, inputs, out)
 	cycles = m.Stats().Cycles
-	e.putMachine(m)
+	e.putExecutor(m)
 	if err != nil {
 		return 0, err
 	}
@@ -659,18 +680,20 @@ func (e *Engine) ExecuteInto(c *compiler.Compiled, inputs, out []float64) (cycle
 	return cycles, nil
 }
 
-// ExecuteCompiled runs a compiled program on a pooled machine and
+// ExecuteCompiled runs a compiled program on a pooled executor and
 // returns a self-contained result (outputs keyed by sink id, deep-copied
-// stats safe to hold after the machine is reused).
+// stats safe to hold after the executor is reused). Under the functional
+// backend only Stats.Cycles is meaningful; select the cycle-accurate
+// backend for the machine's full statistics.
 func (e *Engine) ExecuteCompiled(c *compiler.Compiled, inputs []float64) (*sim.Result, error) {
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	outs := c.Graph.Outputs()
 	out := make([]float64, len(outs))
-	m := e.getMachine(c.Prog.Cfg)
-	err := sim.RunOn(m, c, inputs, out)
+	m := e.getExecutor(c.Prog.Cfg)
+	err := m.ExecuteInto(c, inputs, out)
 	st := m.Stats().Clone()
-	e.putMachine(m)
+	e.putExecutor(m)
 	if err != nil {
 		return nil, err
 	}
@@ -737,11 +760,11 @@ func (e *Engine) ExecuteBatchInto(c *compiler.Compiled, batches, outs [][]float6
 	e.inFlight.Add(int64(-n))
 }
 
-// runChunk executes items [lo,hi) of a batch on one leased machine.
+// runChunk executes items [lo,hi) of a batch on one leased executor.
 func (e *Engine) runChunk(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error, lo, hi int) {
-	m := e.getMachine(c.Prog.Cfg)
+	m := e.getExecutor(c.Prog.Cfg)
 	for i := lo; i < hi; i++ {
-		err := sim.RunOn(m, c, batches[i], outs[i])
+		err := m.ExecuteInto(c, batches[i], outs[i])
 		errs[i] = err
 		if cycles != nil {
 			cycles[i] = m.Stats().Cycles
@@ -750,7 +773,7 @@ func (e *Engine) runChunk(c *compiler.Compiled, batches, outs [][]float64, cycle
 			e.executions.Add(1)
 		}
 	}
-	e.putMachine(m)
+	e.putExecutor(m)
 }
 
 // AsyncResult carries one ExecuteAsync completion.
@@ -794,6 +817,7 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := Stats{
+		Backend:   e.opts.Backend.String(),
 		Hits:      e.hits,
 		Misses:    e.misses,
 		Evictions: e.evictions,

@@ -70,6 +70,13 @@ type Options struct {
 	// Clock is the time source; nil means SystemClock. Tests inject a
 	// FakeClock to drive the linger policy deterministically.
 	Clock Clock
+	// NoCycles skips per-item cycle collection: Result.Cycles is 0 for
+	// every item and the per-batch cycles slice is never allocated. The
+	// batch key is unchanged — cycles are response decoration, not
+	// coalescing state. For callers that only need outputs; note that
+	// even the functional backend reports exact cycle counts (the
+	// schedule is static), so the default keeps them.
+	NoCycles bool
 }
 
 func (o Options) normalize() Options {
@@ -154,9 +161,17 @@ type batch struct {
 	done     chan struct{}
 	c        *compiler.Compiled
 	outs     [][]float64
-	cycles   []int
+	cycles   []int // nil under Options.NoCycles
 	errs     []error
 	batchErr error // compile failure (*CompileError): fails every item
+}
+
+// cyclesAt returns item i's cycle count, 0 when collection is off.
+func (b *batch) cyclesAt(i int) int {
+	if b.cycles == nil {
+		return 0
+	}
+	return b.cycles[i]
 }
 
 // Scheduler coalesces submissions into batched backend executions. It is
@@ -218,7 +233,7 @@ func (s *Scheduler) Submit(g *dag.Graph, cfg arch.Config, copts compiler.Options
 	if b.errs[idx] != nil {
 		return Result{}, b.errs[idx]
 	}
-	return Result{Outputs: b.outs[idx], Cycles: b.cycles[idx], Compiled: b.c}, nil
+	return Result{Outputs: b.outs[idx], Cycles: b.cyclesAt(idx), Compiled: b.c}, nil
 }
 
 // SubmitMany queues a whole request's input vectors in one admission
@@ -264,7 +279,7 @@ func (s *Scheduler) SubmitMany(g *dag.Graph, cfg arch.Config, copts compiler.Opt
 		case sl.b.errs[sl.idx] != nil:
 			errs[i] = sl.b.errs[sl.idx]
 		default:
-			results[i] = Result{Outputs: sl.b.outs[sl.idx], Cycles: sl.b.cycles[sl.idx], Compiled: sl.b.c}
+			results[i] = Result{Outputs: sl.b.outs[sl.idx], Cycles: sl.b.cyclesAt(sl.idx), Compiled: sl.b.c}
 		}
 	}
 	return results, errs
@@ -352,7 +367,9 @@ func (s *Scheduler) run(b *batch) {
 	ins := make([][]float64, n)
 	b.outs = make([][]float64, n)
 	flat := make([]float64, n*len(sinks))
-	b.cycles = make([]int, n)
+	if !s.opts.NoCycles {
+		b.cycles = make([]int, n)
+	}
 	b.errs = make([]error, n)
 	for i := range b.reqs {
 		ins[i] = b.reqs[i].inputs

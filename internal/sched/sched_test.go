@@ -392,3 +392,49 @@ func TestDistinctKeysDoNotCoalesce(t *testing.T) {
 		t.Errorf("batches = %d, want 3 (distinct keys must not coalesce)", st.Batches)
 	}
 }
+
+// TestNoCyclesSkipsCycleCollection: Options.NoCycles drops the per-item
+// cycle slice (serving paths that only need outputs shouldn't pay for
+// it); outputs are unaffected and Result.Cycles reads as zero. The
+// batch key ignores the option, so NoCycles and default schedulers see
+// identical coalescing.
+func TestNoCyclesSkipsCycleCollection(t *testing.T) {
+	g := testGraph(11)
+	in := testInputs(g, 1)
+	want := wantEval(t, g, in)
+
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 8, Linger: -1, NoCycles: true})
+	defer s.Close()
+	res, err := s.Submit(g, testCfg, compiler.Options{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 0 {
+		t.Errorf("NoCycles result reports %d cycles, want 0", res.Cycles)
+	}
+	for j := range want {
+		if res.Outputs[j] != want[j] {
+			t.Errorf("output %d = %v, want %v", j, res.Outputs[j], want[j])
+		}
+	}
+	results, errs := s.SubmitMany(g, testCfg, compiler.Options{}, [][]float64{in, in})
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("item %d: %v", i, errs[i])
+		}
+		if results[i].Cycles != 0 {
+			t.Errorf("item %d reports %d cycles, want 0", i, results[i].Cycles)
+		}
+	}
+
+	// Default scheduler on the same graph still reports real cycles.
+	sc := New(engine.New(engine.Options{}), Options{MaxBatch: 8, Linger: -1})
+	defer sc.Close()
+	res2, err := sc.Submit(g, testCfg, compiler.Options{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cycles <= 0 {
+		t.Errorf("default scheduler reports %d cycles, want > 0", res2.Cycles)
+	}
+}

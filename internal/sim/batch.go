@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
 )
 
 // RunBatch executes the same compiled program over a batch of input
@@ -16,27 +17,59 @@ import (
 // throughput scales with the core count because the cores share nothing
 // but the (read-only) program.
 //
+// Exactly `cores` worker goroutines are spawned, each owning one machine
+// for a contiguous chunk of the batch (mirroring the engine's runChunk) —
+// not one goroutine per item, which for a 100k-item batch would launch
+// 100k goroutines just to park most of them on a semaphore.
+//
 // On failure the results slice is still returned, with a nil entry for
 // every failed batch and the per-batch errors joined, so callers can
 // salvage the completed part of a batch.
 func RunBatch(c *compiler.Compiled, batches [][]float64, cores int) ([]*Result, error) {
+	n := len(batches)
 	if cores < 1 {
 		cores = 1
 	}
-	results := make([]*Result, len(batches))
-	errs := make([]error, len(batches))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cores)
-	for i, inputs := range batches {
-		wg.Add(1)
-		go func(i int, inputs []float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(c, inputs)
-		}(i, inputs)
+	if cores > n {
+		cores = n
 	}
-	wg.Wait()
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	outs := c.Graph.Outputs()
+	runChunk := func(lo, hi int) {
+		m := NewMachine(c.Prog.Cfg, c.Prog.InitMem)
+		out := make([]float64, len(outs))
+		for i := lo; i < hi; i++ {
+			if err := RunOn(m, c, batches[i], out); err != nil {
+				errs[i] = err
+				continue
+			}
+			res := &Result{Outputs: make(map[dag.NodeID]float64, len(outs)), Stats: m.Stats().Clone()}
+			for j, sink := range outs {
+				res.Outputs[sink] = out[j]
+			}
+			results[i] = res
+		}
+	}
+	if cores <= 1 {
+		if n > 0 {
+			runChunk(0, n)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < cores; w++ {
+			lo, hi := n*w/cores, n*(w+1)/cores
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				runChunk(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
 	for i, err := range errs {
 		if err != nil {
 			errs[i] = fmt.Errorf("sim: batch %d: %w", i, err)

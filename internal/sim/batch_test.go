@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -84,6 +85,78 @@ func TestRunBatchSalvagesPartialResults(t *testing.T) {
 		if want := fmt.Sprintf("batch %d", i); !strings.Contains(err.Error(), want) {
 			t.Errorf("joined error does not mention %q: %v", want, err)
 		}
+	}
+}
+
+// TestRunBatchBoundedGoroutines pins the satellite bugfix: RunBatch
+// spawns exactly `cores` worker goroutines over contiguous chunks, not
+// one goroutine per batch item. With 512 items and cores=2 the old
+// code launched 512 goroutines (most parked on a semaphore); the
+// rewrite must keep the live count within baseline+cores+slack.
+func TestRunBatchBoundedGoroutines(t *testing.T) {
+	g := dag.RandomGraph(dag.RandomConfig{Inputs: 6, Interior: 120, MaxArgs: 3, MulFrac: 0.5, Seed: 17})
+	c, err := compiler.Compile(g, arch.Config{D: 2, B: 16, R: 32, Output: arch.OutPerLayer}, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items, cores = 512, 2
+	batches := make([][]float64, items)
+	for i := range batches {
+		batches[i] = randInputs(c.Graph, int64(i))
+	}
+	baseline := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunBatch(c, batches, cores)
+		done <- err
+	}()
+	peak := baseline
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// +1 for the launcher goroutine above, +4 slack for runtime
+			// noise (GC workers, timer goroutines).
+			if limit := baseline + cores + 1 + 4; peak > limit {
+				t.Errorf("observed %d live goroutines for a %d-item batch on %d cores (baseline %d, limit %d) — per-item spawning is back",
+					peak, items, cores, baseline, limit)
+			}
+			return
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+		}
+	}
+}
+
+// TestRunBatchMoreCoresThanItems: the worker count is clamped to the
+// batch size, so asking for more cores than items neither panics nor
+// spawns idle workers, and results stay in input order.
+func TestRunBatchMoreCoresThanItems(t *testing.T) {
+	g := dag.New("g")
+	a := g.AddInput()
+	b := g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	c, err := compiler.Compile(g, arch.Config{D: 1, B: 8, R: 8, Output: arch.OutPerLayer}, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := c.Graph.Outputs()[0]
+	results, err := RunBatch(c, [][]float64{{1, 2}, {10, 20}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Outputs[sink]; got != 3 {
+		t.Errorf("batch 0 = %v, want 3", got)
+	}
+	if got := results[1].Outputs[sink]; got != 30 {
+		t.Errorf("batch 1 = %v, want 30", got)
+	}
+	if _, err := RunBatch(c, nil, 8); err != nil {
+		t.Errorf("empty batch: %v", err)
 	}
 }
 

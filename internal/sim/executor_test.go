@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+)
+
+// sameBits is the cross-backend value contract: bitwise identity for
+// every representable float64 — signed zeros and infinities included —
+// except NaN, where both sides must be NaN but the payload bits are
+// unconstrained. IEEE 754 leaves NaN payload propagation to the
+// implementation (when two NaNs with different payloads meet, hardware
+// keeps the first operand's, and instruction operand order is the
+// compiler's choice), so payload equality is not a meaningful claim.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestBackendStringParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+	}{
+		{"functional", BackendFunctional},
+		{"func", BackendFunctional},
+		{"cycle", BackendCycleAccurate},
+		{"cycle-accurate", BackendCycleAccurate},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseBackend("quantum"); err == nil {
+		t.Error("ParseBackend accepted an unknown backend")
+	}
+	if BackendFunctional.String() != "functional" || BackendCycleAccurate.String() != "cycle" {
+		t.Errorf("String(): %q, %q", BackendFunctional, BackendCycleAccurate)
+	}
+	var zero Backend
+	if zero != BackendFunctional {
+		t.Error("the zero Backend must be the functional default")
+	}
+}
+
+// TestExecutorConformanceMatrix is the tentpole's correctness gate: over
+// the same (graph × config) matrix that pins the machine against the
+// reference evaluator, the functional backend must match the
+// cycle-accurate machine bit-for-bit on every sink, and report the same
+// cycle count (the schedule is static, so cycles are a compile-time
+// constant both backends expose identically).
+func TestExecutorConformanceMatrix(t *testing.T) {
+	for gi, g := range conformanceGraphs(testing.Short()) {
+		for _, cfg := range conformanceConfigs(testing.Short()) {
+			t.Run(fmt.Sprintf("graph%d/%s", gi, cfg), func(t *testing.T) {
+				c, err := compiler.Compile(g, cfg, compiler.Options{})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				rng := rand.New(rand.NewSource(int64(gi) + 77))
+				outs := c.Graph.Outputs()
+				m := NewExecutor(BackendCycleAccurate, cfg)
+				f := NewExecutor(BackendFunctional, cfg)
+				mOut := make([]float64, len(outs))
+				fOut := make([]float64, len(outs))
+				for trial := 0; trial < 3; trial++ {
+					inputs := make([]float64, len(c.Graph.Inputs()))
+					for i := range inputs {
+						inputs[i] = rng.Float64()*4 - 2
+					}
+					if err := m.ExecuteInto(c, inputs, mOut); err != nil {
+						t.Fatalf("cycle: %v", err)
+					}
+					if err := f.ExecuteInto(c, inputs, fOut); err != nil {
+						t.Fatalf("functional: %v", err)
+					}
+					for i := range mOut {
+						if !sameBits(mOut[i], fOut[i]) {
+							t.Errorf("trial %d sink %d: cycle %v, functional %v (must be bit-exact)",
+								trial, outs[i], mOut[i], fOut[i])
+						}
+					}
+					mc, fc := m.Stats().Cycles, f.Stats().Cycles
+					if mc != fc || fc != c.Stats.Cycles {
+						t.Errorf("trial %d: cycles: cycle-accurate %d, functional %d, compile-time %d — all must agree",
+							trial, mc, fc, c.Stats.Cycles)
+					}
+				}
+			})
+		}
+	}
+}
+
+// nonFiniteGraph produces every non-finite class at a sink: an input
+// times 1e308 twice overflows to +Inf, negation gives −Inf, and their
+// sum is NaN. Extra unit-multiplies expose the intermediate Inf values
+// as sinks of their own.
+func nonFiniteGraph() *dag.Graph {
+	g := dag.New("nonfinite")
+	x := g.AddInput()
+	big := g.AddConst(1e308)
+	p1 := g.AddOp(dag.OpMul, x, big)
+	p2 := g.AddOp(dag.OpMul, p1, big) // +Inf for x in (1, 2)
+	neg := g.AddOp(dag.OpMul, p2, g.AddConst(-1))
+	nan := g.AddOp(dag.OpAdd, p2, neg) // Inf + (−Inf) = NaN
+	one := g.AddConst(1)
+	g.AddOp(dag.OpMul, p2, one)  // +Inf sink
+	g.AddOp(dag.OpMul, neg, one) // −Inf sink
+	g.AddOp(dag.OpMul, nan, one) // NaN sink
+	return g
+}
+
+// TestExecutorNonFiniteConformance drives NaN and ±Inf through both
+// backends and the reference evaluator, requiring bitwise-identical
+// propagation everywhere — both from overflowing arithmetic and from
+// non-finite inputs fed in directly.
+func TestExecutorNonFiniteConformance(t *testing.T) {
+	inputSets := [][]float64{
+		{1.5},
+		{math.Inf(1)},
+		{math.Inf(-1)},
+		{math.NaN()},
+	}
+	for _, cfg := range conformanceConfigs(true) {
+		c, err := compiler.Compile(nonFiniteGraph(), cfg, compiler.Options{})
+		if err != nil {
+			t.Fatalf("%s: compile: %v", cfg, err)
+		}
+		outs := c.Graph.Outputs()
+		for si, inputs := range inputSets {
+			want, err := dag.Eval(c.Graph, inputs)
+			if err != nil {
+				t.Fatalf("%s: eval: %v", cfg, err)
+			}
+			sawNaN, sawInf := false, false
+			for _, sink := range outs {
+				if math.IsNaN(want[sink]) {
+					sawNaN = true
+				}
+				if math.IsInf(want[sink], 0) {
+					sawInf = true
+				}
+			}
+			if si == 0 && (!sawNaN || !sawInf) {
+				t.Fatalf("fixture broke: finite-input reference must reach NaN and Inf sinks, got %v", want)
+			}
+			for _, b := range []Backend{BackendFunctional, BackendCycleAccurate} {
+				res, err := RunWith(b, c, inputs)
+				if err != nil {
+					t.Fatalf("%s/%s inputs %v: %v", cfg, b, inputs, err)
+				}
+				for _, sink := range outs {
+					got := res.Outputs[sink]
+					if !sameBits(got, want[sink]) {
+						t.Errorf("%s/%s inputs %v sink %d: got %v, reference %v (bitwise)",
+							cfg, b, inputs, sink, got, want[sink])
+					}
+				}
+				// The fixed CheckOutputs must agree: identical non-finite
+				// propagation is a pass, for both backends.
+				if err := CheckOutputs(c, inputs, res, 0); err != nil {
+					t.Errorf("%s/%s inputs %v: CheckOutputs rejected identical propagation: %v", cfg, b, inputs, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckOutputsNaNRegression pins the satellite bugfix: the old
+// negated acceptance condition was false for NaN against any finite
+// reference (all NaN comparisons are false), so a simulator that
+// produced NaN where the reference was finite sailed through
+// differential checking. A planted NaN must now fail.
+func TestCheckOutputsNaNRegression(t *testing.T) {
+	g := dag.New("tiny")
+	a, b := g.AddInput(), g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	c, err := compiler.Compile(g, arch.Config{D: 1, B: 2, R: 8}, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []float64{2, 3}
+	res, err := Run(c, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutputs(c, inputs, res, 0); err != nil {
+		t.Fatalf("honest result rejected: %v", err)
+	}
+	sink := c.Graph.Outputs()[0]
+
+	// The regression: NaN against a finite reference must be an error.
+	res.Outputs[sink] = math.NaN()
+	if err := CheckOutputs(c, inputs, res, 0); err == nil {
+		t.Error("planted NaN against finite reference passed CheckOutputs")
+	}
+	if err := CheckOutputs(c, inputs, res, 1e9); err == nil {
+		t.Error("planted NaN passed even with a huge tolerance")
+	}
+
+	// Inf against a finite reference must fail too (|Inf−w| > any tol).
+	res.Outputs[sink] = math.Inf(1)
+	if err := CheckOutputs(c, inputs, res, 1e-6); err == nil {
+		t.Error("planted +Inf against finite reference passed CheckOutputs")
+	}
+
+	// NaN against a NaN reference is legitimate propagation: accepted.
+	nanIn := []float64{math.NaN(), 3}
+	nanRes, err := Run(c, nanIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(nanRes.Outputs[sink]) {
+		t.Fatalf("NaN input did not propagate: sink = %v", nanRes.Outputs[sink])
+	}
+	if err := CheckOutputs(c, nanIn, nanRes, 0); err != nil {
+		t.Errorf("NaN-vs-NaN rejected: %v", err)
+	}
+
+	// Inf matching an Inf reference is exact equality: accepted at tol 0.
+	infIn := []float64{math.Inf(1), 3}
+	infRes, err := Run(c, infIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutputs(c, infIn, infRes, 0); err != nil {
+		t.Errorf("Inf-vs-Inf rejected: %v", err)
+	}
+	// ...but −Inf against a +Inf reference must fail (NaN distance).
+	infRes.Outputs[sink] = math.Inf(-1)
+	if err := CheckOutputs(c, infIn, infRes, 1e9); err == nil {
+		t.Error("−Inf against +Inf reference passed CheckOutputs")
+	}
+}
+
+// TestFuncEvaluatorErrors pins the executor contract's error cases and
+// that messages match the machine path's, so callers can't tell the
+// backends apart by failure mode.
+func TestFuncEvaluatorErrors(t *testing.T) {
+	g := dag.New("tiny")
+	a, b := g.AddInput(), g.AddInput()
+	g.AddOp(dag.OpAdd, a, b)
+	c, err := compiler.Compile(g, arch.Config{D: 1, B: 2, R: 8}, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFuncEvaluator(c.Prog.Cfg)
+	out := make([]float64, 1)
+	if err := f.ExecuteInto(c, []float64{1}, out); err == nil || !strings.Contains(err.Error(), "inputs provided") {
+		t.Errorf("short inputs: %v", err)
+	}
+	if err := f.ExecuteInto(c, []float64{1, 2}, make([]float64, 3)); err == nil || !strings.Contains(err.Error(), "output buffer") {
+		t.Errorf("bad out buffer: %v", err)
+	}
+	if err := f.ExecuteInto(c, []float64{1, 2}, out); err != nil || out[0] != 3 {
+		t.Errorf("ExecuteInto = %v, out %v; want nil, [3]", err, out)
+	}
+}
+
+// TestFuncEvaluatorSteadyStateAllocs verifies the fast path's reuse
+// contract: once the scratch is warm, repeated executions allocate
+// nothing.
+func TestFuncEvaluatorSteadyStateAllocs(t *testing.T) {
+	g := conformanceGraphs(true)[1]
+	cfg := arch.Config{D: 2, B: 8, R: 16}
+	c, err := compiler.Compile(g, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFuncEvaluator(cfg)
+	inputs := make([]float64, len(c.Graph.Inputs()))
+	for i := range inputs {
+		inputs[i] = float64(i) + 0.5
+	}
+	out := make([]float64, len(c.Graph.Outputs()))
+	if err := f.ExecuteInto(c, inputs, out); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.ExecuteInto(c, inputs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ExecuteInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// FuzzFunctionalConformance extends the fuzz layer to the tentpole
+// claim: over fuzzer-chosen graph shapes, configurations and inputs —
+// non-finite values included — the functional backend must match the
+// cycle-accurate machine bitwise on every sink (modulo NaN payloads;
+// see sameBits) and agree on the cycle count.
+func FuzzFunctionalConformance(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(16), uint8(32), 1.0, 0.5)
+	f.Add(int64(7), uint8(4), uint8(1), uint8(4), uint8(4), math.Inf(1), -2.0)
+	f.Add(int64(42), uint8(3), uint8(2), uint8(8), uint8(16), math.NaN(), 1e308)
+	f.Fuzz(func(t *testing.T, seed int64, maxArgs, d, b, r uint8, in0, in1 float64) {
+		g := dag.RandomGraph(dag.RandomConfig{
+			Inputs:   2 + int(seed%5),
+			Interior: 10 + int(seed%60),
+			MaxArgs:  2 + int(maxArgs%4),
+			MulFrac:  0.4,
+			Seed:     seed,
+		})
+		cfg := arch.Config{D: 1 + int(d%3), B: 1 + int(b%32), R: 2 + int(r%48)}
+		c, err := compiler.Compile(g, cfg, compiler.Options{})
+		if err != nil {
+			t.Skip() // infeasible configuration for this graph
+		}
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([]float64, len(c.Graph.Inputs()))
+		for i := range inputs {
+			inputs[i] = rng.Float64()*6 - 3
+		}
+		// Splice the fuzzer's raw float64s (often non-finite or extreme)
+		// into the input vector so the comparison covers those classes.
+		if len(inputs) > 0 {
+			inputs[0] = in0
+		}
+		if len(inputs) > 1 {
+			inputs[1] = in1
+		}
+		mRes, err := RunWith(BackendCycleAccurate, c, inputs)
+		if err != nil {
+			t.Fatalf("cycle: %v", err)
+		}
+		fRes, err := RunWith(BackendFunctional, c, inputs)
+		if err != nil {
+			t.Fatalf("functional: %v", err)
+		}
+		for _, sink := range c.Graph.Outputs() {
+			mv, fv := mRes.Outputs[sink], fRes.Outputs[sink]
+			if !sameBits(mv, fv) {
+				t.Errorf("sink %d: cycle %v (%#x), functional %v (%#x)",
+					sink, mv, math.Float64bits(mv), fv, math.Float64bits(fv))
+			}
+		}
+		if mRes.Stats.Cycles != fRes.Stats.Cycles {
+			t.Errorf("cycles: cycle-accurate %d, functional %d", mRes.Stats.Cycles, fRes.Stats.Cycles)
+		}
+	})
+}

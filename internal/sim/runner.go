@@ -73,6 +73,17 @@ func Run(c *compiler.Compiled, inputs []float64) (*Result, error) {
 // evaluator. The simulator performs the same float64 operations in the
 // same association order as the binarized graph, so results must match
 // bit-exactly; tol exists only for callers that post-process.
+//
+// The acceptance condition is written in the positive form so NaN
+// cannot slip through: the old `got != w && |got-w| > tol*(1+|w|)`
+// was false for a NaN output against any finite reference (every
+// comparison with NaN is false), silently passing the one value class
+// differential checks exist to catch. A NaN output is accepted only
+// when the reference is NaN too — legitimate non-finite propagation
+// (Inf−Inf, 0×Inf) that both sides must reproduce identically — and
+// the tolerance clause applies only when both values are finite: an
+// infinite reference would make the relative band tol*(1+|w|) infinite
+// and accept anything, so non-finite values must match exactly.
 func CheckOutputs(c *compiler.Compiled, inputs []float64, res *Result, tol float64) error {
 	want, err := dag.Eval(c.Graph, inputs)
 	if err != nil {
@@ -80,7 +91,11 @@ func CheckOutputs(c *compiler.Compiled, inputs []float64, res *Result, tol float
 	}
 	for sink, got := range res.Outputs {
 		w := want[sink]
-		if got != w && math.Abs(got-w) > tol*(1+math.Abs(w)) {
+		ok := got == w || (math.IsNaN(got) && math.IsNaN(w))
+		if !ok && !math.IsInf(got, 0) && !math.IsInf(w, 0) {
+			ok = math.Abs(got-w) <= tol*(1+math.Abs(w))
+		}
+		if !ok {
 			return fmt.Errorf("sim: sink %d = %v, reference %v", sink, got, w)
 		}
 	}
