@@ -1,0 +1,80 @@
+package main
+
+// The routing/hedging/failover test matrix lives in internal/gateway;
+// this file only smoke-tests the wiring the binary performs: a gateway
+// built the way main builds it routes a request to a real backend
+// through the hardened server and answers it end to end.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dpuv2/internal/engine"
+	"dpuv2/internal/gateway"
+	"dpuv2/internal/serve"
+)
+
+func TestDefaultWiringProxiesEndToEnd(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	backend := serve.New(eng, serve.Options{})
+	ts := httptest.NewServer(backend.Handler())
+	defer ts.Close()
+	defer backend.Drain()
+
+	gw, err := gateway.New(gateway.Options{
+		Backends:       []string{ts.URL},
+		HealthInterval: time.Second,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	hs := serve.NewHTTPServer("127.0.0.1:0", gw.Handler(), 0, 0)
+	ln, err := net.Listen("tcp", hs.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	front := "http://" + ln.Addr().String()
+
+	body, _ := json.Marshal(serve.ExecuteRequest{
+		Graph:  "input\ninput\nadd 0 1\nconst 3\nmul 2 3\n",
+		Inputs: [][]float64{{2, 5}},
+	})
+	resp, err := http.Post(front+"/execute", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out serve.ExecuteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Outputs[0] != 21 {
+		t.Fatalf("results = %+v, want [[21]]", out.Results)
+	}
+
+	st, err := http.Get(front + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var fleet gateway.FleetStatsResponse
+	if err := json.NewDecoder(st.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Gateway.Proxied != 1 || fleet.Gateway.Healthy != 1 || fleet.Fleet == nil {
+		t.Errorf("fleet stats %+v, want proxied=1 healthy=1 with a merged view", fleet.Gateway)
+	}
+}

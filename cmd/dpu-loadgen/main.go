@@ -99,8 +99,16 @@ type summary struct {
 	HTTPErrors      map[string]int64 `json:"http_errors,omitempty"`
 	TransportErrors int64            `json:"transport_errors"`
 	AchievedQPS     float64          `json:"achieved_qps"`
-	// Latency is per-request wall time in nanoseconds.
+	// Latency is per-request wall time in nanoseconds of ADMITTED
+	// traffic only (HTTP 200). Error-path durations live in
+	// ErrorLatency: a 30s client timeout against a dead server is not a
+	// p99 of the service, and folding the two histograms together (as
+	// this tool once did) poisons every reported quantile.
 	Latency metrics.Summary `json:"latency_ns"`
+	// ErrorLatency is per-request wall time of requests that failed in
+	// transport or were refused with a non-200 status (429/503 shedding,
+	// connect errors, client timeouts).
+	ErrorLatency metrics.Summary `json:"error_latency_ns"`
 }
 
 func run(cfg config, logw io.Writer) (summary, error) {
@@ -121,7 +129,8 @@ func run(cfg config, logw io.Writer) (summary, error) {
 	}
 
 	var (
-		hist      metrics.Histogram
+		hist      metrics.Histogram // admitted (200) request latency
+		errHist   metrics.Histogram // transport-error / non-200 latency
 		requests  atomic.Int64
 		completed atomic.Int64
 		failedVec atomic.Int64
@@ -174,14 +183,14 @@ func run(cfg config, logw io.Writer) (summary, error) {
 				resp, err := client.Post(url+"/execute", "application/json", bytes.NewReader(body))
 				requests.Add(1)
 				if err != nil {
-					hist.ObserveDuration(time.Since(t0))
+					errHist.ObserveDuration(time.Since(t0))
 					transport.Add(1)
 					continue
 				}
 				if resp.StatusCode != http.StatusOK {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
-					hist.ObserveDuration(time.Since(t0))
+					errHist.ObserveDuration(time.Since(t0))
 					statusMu.Lock()
 					statuses[fmt.Sprint(resp.StatusCode)]++
 					statusMu.Unlock()
@@ -223,6 +232,7 @@ func run(cfg config, logw io.Writer) (summary, error) {
 		TransportErrors: transport.Load(),
 		AchievedQPS:     float64(requests.Load()) / elapsed.Seconds(),
 		Latency:         hist.Summary(),
+		ErrorLatency:    errHist.Summary(),
 	}
 	if len(statuses) > 0 {
 		s.HTTPErrors = statuses
@@ -257,9 +267,13 @@ func main() {
 		fmt.Printf("requests %d  vectors ok %d  failed %d  transport errors %d\n",
 			s.Requests, s.Completed, s.FailedVectors, s.TransportErrors)
 		fmt.Printf("achieved %.1f req/s over %.2fs with %d clients\n", s.AchievedQPS, s.DurationSec, s.Clients)
-		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v\n",
+		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v (admitted)\n",
 			time.Duration(s.Latency.P50), time.Duration(s.Latency.P95),
 			time.Duration(s.Latency.P99), time.Duration(s.Latency.Max))
+		if s.ErrorLatency.Count > 0 {
+			fmt.Printf("error-path latency p50 %v  p99 %v over %d requests\n",
+				time.Duration(s.ErrorLatency.P50), time.Duration(s.ErrorLatency.P99), s.ErrorLatency.Count)
+		}
 	}
 	if s.Completed == 0 {
 		log.Fatal("dpu-loadgen: no request completed successfully")

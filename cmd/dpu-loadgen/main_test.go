@@ -3,6 +3,9 @@ package main
 import (
 	"encoding/json"
 	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 )
@@ -91,5 +94,76 @@ func TestBuildPopulationDeterministic(t *testing.T) {
 		if tgt.nIn == 0 || tgt.text == "" {
 			t.Errorf("target %d malformed: %+v", i, tgt)
 		}
+	}
+}
+
+// TestRefusedConnectionKeepsAdmittedLatencyClean is the regression test
+// for the latency-accounting bugfix: a run against a dead endpoint must
+// report ZERO admitted-latency samples — every duration (including the
+// client's connect failures) belongs to error_latency_ns. Before the
+// split, those error durations were folded into the admitted histogram
+// and poisoned its p99.
+func TestRefusedConnectionKeepsAdmittedLatencyClean(t *testing.T) {
+	// A listener bound and immediately closed: connections are refused
+	// fast, on a port nothing else can be using.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+
+	s, err := run(config{
+		url:         url,
+		duration:    200 * time.Millisecond,
+		concurrency: 2,
+		graphs:      2,
+		inputsPer:   1,
+		seed:        1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Requests == 0 || s.TransportErrors == 0 {
+		t.Fatalf("refused-connection run made no attempts: %+v", s)
+	}
+	if s.Completed != 0 {
+		t.Fatalf("completed %d vectors against a closed port", s.Completed)
+	}
+	if s.Latency.Count != 0 {
+		t.Errorf("admitted-latency histogram has %d samples from a run with zero admitted requests", s.Latency.Count)
+	}
+	if s.ErrorLatency.Count != uint64(s.Requests) {
+		t.Errorf("error-latency count %d != requests %d", s.ErrorLatency.Count, s.Requests)
+	}
+}
+
+// TestSheddingGoesToErrorLatency pins the other half of the accounting
+// split: non-200 responses (a draining server's 503s) are error-path
+// latency, not admitted latency.
+func TestSheddingGoesToErrorLatency(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	s, err := run(config{
+		url:         ts.URL,
+		duration:    200 * time.Millisecond,
+		concurrency: 2,
+		graphs:      2,
+		inputsPer:   1,
+		seed:        1,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HTTPErrors["503"] == 0 {
+		t.Fatalf("no 503s recorded: %+v", s)
+	}
+	if s.Latency.Count != 0 {
+		t.Errorf("admitted-latency histogram has %d samples, all responses were 503", s.Latency.Count)
+	}
+	if s.ErrorLatency.Count != uint64(s.Requests) {
+		t.Errorf("error-latency count %d != requests %d", s.ErrorLatency.Count, s.Requests)
 	}
 }

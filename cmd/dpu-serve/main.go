@@ -23,7 +23,11 @@
 // Batching is on by default; -unbatched restores PR 2's per-request
 // path for A/B comparison. SIGINT/SIGTERM drain gracefully: in-flight
 // requests complete, new ones are answered 503 until the listener
-// closes.
+// closes. The whole drain sequence (including background tunes and
+// store flushes) runs under the single -drain-timeout deadline, and a
+// second signal forces immediate exit. Connections are hardened against
+// stalled clients: -read-timeout bounds how long a request may take to
+// arrive, -idle-timeout reclaims idle keep-alives.
 //
 // -artifact-dir makes compilation a true offline step: the directory is
 // opened as a content-addressed store of .dpuprog artifacts
@@ -97,6 +101,9 @@ func main() {
 	autotune := flag.Bool("autotune", false, "serve each graph fingerprint on its tuned config (stored .dputune decisions; unseen fingerprints tune in the background)")
 	tuneBudget := flag.Duration("tune-budget", 30*time.Second, "wall-clock budget per background tune (with -autotune)")
 	tuneMetric := flag.String("tune-metric", "latency", "background-tune optimization target: latency, energy or edp")
+	readTimeout := flag.Duration("read-timeout", serve.DefaultReadTimeout, "close a connection that has not finished sending its request by then (slow-loris bound)")
+	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "reclaim idle keep-alive connections after this long")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the whole shutdown sequence (drain, background tunes, store flush, listener close)")
 	flag.Parse()
 
 	backend, err := sim.ParseBackend(*backendName)
@@ -143,21 +150,39 @@ func main() {
 		MaxInputsPerRequest: *maxInputs,
 		Unbatched:           *unbatched,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := serve.NewHTTPServer(*addr, srv.Handler(), *readTimeout, *idleTimeout)
 
 	done := make(chan struct{})
-	sigc := make(chan os.Signal, 1)
+	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigc
-		log.Printf("dpu-serve: %v, draining", sig)
-		srv.Drain()     // in-flight requests finish; new ones get 503
-		eng.WaitTunes() // background tunes publish (and persist) their decisions
-		eng.Flush()     // async artifact persists land before exit
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("dpu-serve: %v, draining (bounded by %v; second signal forces exit)", sig, *drainTimeout)
+		// A second signal must not wait on a wedged drain: force exit.
+		go func() {
+			sig := <-sigc
+			log.Printf("dpu-serve: second %v, forcing immediate exit", sig)
+			os.Exit(1)
+		}()
+		// The WHOLE sequence shares one deadline — a wedged background
+		// tune or a store flush on a dead disk must not block exit.
+		deadline := time.Now().Add(*drainTimeout)
+		ok := serve.DrainWithin(*drainTimeout,
+			srv.Drain,     // in-flight requests finish; new ones get 503
+			eng.WaitTunes, // background tunes publish (and persist) their decisions
+			eng.Flush,     // async artifact persists land before exit
+		)
+		if !ok {
+			log.Printf("dpu-serve: drain did not complete within %v, exiting anyway", *drainTimeout)
+			hs.Close()
+			close(done)
+			return
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("dpu-serve: shutdown: %v", err)
+			hs.Close()
 		}
 		close(done)
 	}()

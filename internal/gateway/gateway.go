@@ -1,0 +1,519 @@
+// Package gateway is the sharded multi-node serving tier: an HTTP front
+// that consistent-hashes graph fingerprints across N dpu-serve backends,
+// so each backend's compile cache, tuned-decision table and executor
+// pools stay hot for its shard — the compile-once/execute-many premise,
+// preserved at fleet scale. One process with machine pools cannot carry
+// millions of users; N processes WITHOUT shard affinity would each
+// re-compile (and re-tune) the full fingerprint population, shredding
+// every cache PRs 2–7 built. The gateway is what makes horizontal scale
+// cache-coherent.
+//
+// Mechanics:
+//
+//   - POST /execute is routed by the request graph's dag.Fingerprint on
+//     a consistent-hash ring (ring.go) over the live backends.
+//   - Every backend is polled at /healthz; a 503 ("draining", the signal
+//     serve.Server raises during graceful shutdown) or an unreachable
+//     backend leaves the ring, and its shard ranges fail over to their
+//     clockwise successors — only those ranges remap.
+//   - A request whose shard owner is slow is hedged: after a delay
+//     derived from the gateway's observed p99, the SAME request is sent
+//     to the next ring owner; the first response wins and the loser's
+//     context is canceled. Execution is a pure function of the request,
+//     so duplicating it is safe; at worst the loser backend warms its
+//     cache for a range it may inherit later.
+//   - An owner that fails outright (connect error, 503) fails over
+//     immediately to the next distinct owner.
+//   - GET /stats merges every backend's engine/sched/http sections into
+//     one fleet view (stats.go), with the per-backend breakdown beside
+//     it.
+//
+// Backends should share one -artifact-dir: any backend then warm-starts
+// from the same store, so a failover target decodes the shard's programs
+// instead of recompiling them, and a rebalanced fleet converges without
+// cold compiles.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpuv2/internal/dag"
+	"dpuv2/internal/metrics"
+	"dpuv2/internal/serve"
+)
+
+// DefaultVNodes is the virtual-node count per backend: enough that two
+// backends split the key space within a few percent, cheap enough that
+// ring rebuilds are microseconds.
+const DefaultVNodes = 128
+
+// Options configure a Gateway; zero values take the documented defaults.
+type Options struct {
+	// Backends are the dpu-serve base URLs (e.g. http://10.0.0.1:8080).
+	Backends []string
+	// VNodes is the virtual-node count per backend on the hash ring.
+	// Default 128.
+	VNodes int
+	// HealthInterval is the /healthz polling period. Default 1s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe. Default HealthInterval
+	// (capped at 2s).
+	HealthTimeout time.Duration
+	// RequestTimeout bounds one proxied attempt to one backend.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// HedgeMin/HedgeMax clamp the p99-derived hedge delay. Until the
+	// gateway has latency samples the delay is HedgeMax. Defaults
+	// 2ms / 500ms.
+	HedgeMin, HedgeMax time.Duration
+	// DisableHedge turns hedging off (failover on hard errors remains).
+	DisableHedge bool
+	// Logf receives membership transitions and proxy errors.
+	// Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) normalize() Options {
+	if o.VNodes <= 0 {
+		o.VNodes = DefaultVNodes
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = o.HealthInterval
+		if o.HealthTimeout > 2*time.Second {
+			o.HealthTimeout = 2 * time.Second
+		}
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 2 * time.Millisecond
+	}
+	if o.HedgeMax <= 0 {
+		o.HedgeMax = 500 * time.Millisecond
+	}
+	if o.HedgeMax < o.HedgeMin {
+		o.HedgeMax = o.HedgeMin
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// backendState is a backend's health as last probed.
+type backendState int32
+
+const (
+	stateUnknown  backendState = iota // not probed yet: out of the ring
+	stateHealthy                      // 200 /healthz: in the ring
+	stateDraining                     // 503 /healthz: draining, out of the ring
+	stateDown                         // unreachable / unexpected status
+)
+
+func (s backendState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDraining:
+		return "draining"
+	case stateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// backend is one dpu-serve the gateway fronts: its address, its pooled
+// HTTP client, and its last probed health state.
+type backend struct {
+	addr    string
+	client  *http.Client
+	state   atomic.Int32 // backendState
+	lastErr atomic.Value // string; last probe failure, "" when fine
+}
+
+func (b *backend) setState(s backendState) (changed bool) {
+	return b.state.Swap(int32(s)) != int32(s)
+}
+
+func (b *backend) getState() backendState { return backendState(b.state.Load()) }
+
+// Gateway is the sharded serving front. Create with New, mount
+// Handler on a listener (serve.NewHTTPServer), stop with Close.
+type Gateway struct {
+	opts     Options
+	backends []*backend
+	byAddr   map[string]*backend
+	ring     atomic.Pointer[ring] // live members only; rebuilt on transitions
+
+	proxied   atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	failovers atomic.Int64
+	rejected  atomic.Int64 // no live backend / all attempts failed
+	latency   metrics.Histogram
+
+	draining atomic.Bool
+	mux      *http.ServeMux
+	stop     chan struct{}
+	stopped  sync.WaitGroup
+}
+
+// New builds a Gateway over opts.Backends, probes every backend once
+// synchronously (so a gateway in front of a live fleet routes from its
+// first request), and starts the periodic health checker.
+func New(opts Options) (*Gateway, error) {
+	opts = opts.normalize()
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	gw := &Gateway{
+		opts:   opts,
+		byAddr: make(map[string]*backend, len(opts.Backends)),
+		stop:   make(chan struct{}),
+	}
+	for _, addr := range opts.Backends {
+		addr = strings.TrimSuffix(addr, "/")
+		if addr == "" || gw.byAddr[addr] != nil {
+			return nil, fmt.Errorf("gateway: empty or duplicate backend %q", addr)
+		}
+		b := &backend{
+			addr: addr,
+			// One pooled client per backend: connections are reused per
+			// shard owner, and one slow backend cannot exhaust another's
+			// pool. The per-attempt context enforces RequestTimeout; the
+			// client timeout is the safety net behind it.
+			client: &http.Client{
+				Timeout: opts.RequestTimeout + opts.HealthTimeout,
+				Transport: &http.Transport{
+					MaxIdleConns:        64,
+					MaxIdleConnsPerHost: 64,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			},
+		}
+		b.lastErr.Store("")
+		gw.backends = append(gw.backends, b)
+		gw.byAddr[addr] = b
+	}
+	gw.ring.Store(newRing(nil, opts.VNodes))
+	gw.checkHealth() // synchronous first pass
+	gw.stopped.Add(1)
+	go gw.healthLoop()
+
+	gw.mux = http.NewServeMux()
+	gw.mux.HandleFunc("/execute", gw.handleExecute)
+	gw.mux.HandleFunc("/stats", gw.handleStats)
+	gw.mux.HandleFunc("/healthz", gw.handleHealthz)
+	return gw, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Drain flips /healthz to 503 and rejects new /execute requests, so a
+// front balancer (or a gateway-of-gateways) can take this instance out.
+func (g *Gateway) Drain() { g.draining.Store(true) }
+
+// Close stops the health checker. Safe to call once.
+func (g *Gateway) Close() {
+	close(g.stop)
+	g.stopped.Wait()
+}
+
+func (g *Gateway) healthLoop() {
+	defer g.stopped.Done()
+	t := time.NewTicker(g.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.checkHealth()
+		}
+	}
+}
+
+// checkHealth probes every backend concurrently and rebuilds the ring if
+// any membership changed. Draining and down backends are equally out of
+// the ring; the distinction is kept for /stats and logs.
+func (g *Gateway) checkHealth() {
+	var wg sync.WaitGroup
+	changed := make([]bool, len(g.backends))
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			changed[i] = g.probe(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, c := range changed {
+		if c {
+			g.rebuildRing()
+			return
+		}
+	}
+}
+
+// probe classifies one backend: 200 → healthy, 503 → draining (the
+// serve.Server readiness signal), anything else → down. Reports whether
+// the state changed.
+func (g *Gateway) probe(b *backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.opts.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
+	if err != nil {
+		b.lastErr.Store(err.Error())
+		return b.setState(stateDown)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		b.lastErr.Store(err.Error())
+		return b.setState(stateDown)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var next backendState
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		next = stateHealthy
+		b.lastErr.Store("")
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		next = stateDraining
+		b.lastErr.Store("draining")
+	default:
+		next = stateDown
+		b.lastErr.Store(fmt.Sprintf("healthz status %d", resp.StatusCode))
+	}
+	return b.setState(next)
+}
+
+// rebuildRing recomputes ring membership from current states.
+func (g *Gateway) rebuildRing() {
+	var live []string
+	for _, b := range g.backends {
+		if b.getState() == stateHealthy {
+			live = append(live, b.addr)
+		}
+	}
+	g.ring.Store(newRing(live, g.opts.VNodes))
+	states := make([]string, len(g.backends))
+	for i, b := range g.backends {
+		states[i] = b.addr + "=" + b.getState().String()
+	}
+	g.opts.Logf("gateway: ring membership %d/%d live (%s)", len(live), len(g.backends), strings.Join(states, " "))
+}
+
+// hedgeDelay derives the hedging trigger from the gateway's own
+// end-to-end latency: a request slower than the fleet's p99 is worth a
+// second copy on the next owner. With too few samples to trust a p99,
+// be conservative (HedgeMax) rather than duplicate eagerly.
+func (g *Gateway) hedgeDelay() time.Duration {
+	const minSamples = 16
+	s := g.latency.Summary()
+	if s.Count < minSamples {
+		return g.opts.HedgeMax
+	}
+	d := time.Duration(s.P99)
+	if d < g.opts.HedgeMin {
+		d = g.opts.HedgeMin
+	}
+	if d > g.opts.HedgeMax {
+		d = g.opts.HedgeMax
+	}
+	return d
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if len(g.ring.Load().addrs) == 0 {
+		http.Error(w, "no live backends", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// attemptResult is one backend's answer to a proxied request.
+type attemptResult struct {
+	addr        string
+	hedge       bool // launched by the hedge timer, not failover
+	status      int
+	contentType string
+	body        []byte
+	err         error
+}
+
+// usable reports whether the attempt is an authoritative answer the
+// client should see. A 503 is the backend draining mid-flight (the ring
+// just hasn't caught up): fail over instead of relaying it.
+func (a attemptResult) usable() bool {
+	return a.err == nil && a.status != http.StatusServiceUnavailable
+}
+
+func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.draining.Load() {
+		g.rejected.Add(1)
+		http.Error(w, "gateway draining", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The shard key: only the graph text matters here. Config/options
+	// stay opaque bytes the backend will parse — the gateway must not
+	// need a new release to pass new fields through.
+	var shard struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &shard); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	gr, err := dag.Read(strings.NewReader(shard.Graph), "request")
+	if err != nil {
+		http.Error(w, "bad graph: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	candidates := g.ring.Load().Owners(ringKey(gr.Fingerprint()), len(g.backends))
+	if len(candidates) == 0 {
+		g.rejected.Add(1)
+		http.Error(w, "no live backends", http.StatusServiceUnavailable)
+		return
+	}
+	res, ok := g.forward(r.Context(), candidates, body)
+	if !ok {
+		g.rejected.Add(1)
+		msg := "all shard owners failed"
+		if res.err != nil {
+			msg += ": " + res.err.Error()
+		} else if res.status != 0 {
+			msg += fmt.Sprintf(": last status %d", res.status)
+		}
+		http.Error(w, msg, http.StatusBadGateway)
+		return
+	}
+	g.proxied.Add(1)
+	g.latency.ObserveDuration(time.Since(start))
+	if res.contentType != "" {
+		w.Header().Set("Content-Type", res.contentType)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// forward races the request across candidates: the first is sent
+// immediately, a hedge copy goes to the next distinct owner once the
+// p99-derived delay elapses without an answer, and hard failures
+// (connect error, 503-draining) fail over to the remaining owners at
+// once. The first usable response wins; every other in-flight attempt is
+// canceled. Reports ok=false with the last failure when no candidate
+// answered.
+func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte) (attemptResult, bool) {
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll() // cancels every losing attempt
+	results := make(chan attemptResult, len(candidates))
+	next := 0
+	inflight := 0
+	launch := func(hedge bool) {
+		b := g.byAddr[candidates[next]]
+		next++
+		inflight++
+		go func() {
+			res := g.attempt(ctx, b, body)
+			res.hedge = hedge
+			results <- res
+		}()
+	}
+	launch(false)
+
+	var hedgeC <-chan time.Time
+	var hedged bool
+	if !g.opts.DisableHedge && len(candidates) > 1 {
+		t := time.NewTimer(g.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var last attemptResult
+	for {
+		select {
+		case res := <-results:
+			inflight--
+			if res.usable() {
+				if res.hedge {
+					g.hedgeWins.Add(1)
+				}
+				return res, true
+			}
+			last = res
+			// Hard failure: this owner is gone or draining; fail its
+			// range over to the next distinct owner right away.
+			if next < len(candidates) {
+				g.failovers.Add(1)
+				launch(false)
+			} else if inflight == 0 {
+				return last, false
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !hedged && next < len(candidates) {
+				hedged = true
+				g.hedges.Add(1)
+				launch(true)
+			}
+		case <-ctx.Done():
+			// Client went away (or its deadline passed): stop racing.
+			return attemptResult{err: ctx.Err()}, false
+		}
+	}
+}
+
+// attempt sends one copy of the request to one backend.
+func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) attemptResult {
+	res := attemptResult{addr: b.addr}
+	ctx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/execute", bytes.NewReader(body))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer resp.Body.Close()
+	res.status = resp.StatusCode
+	res.contentType = resp.Header.Get("Content-Type")
+	if res.body, err = io.ReadAll(io.LimitReader(resp.Body, serve.MaxRequestBytes)); err != nil {
+		res.err = err
+	}
+	return res
+}

@@ -116,6 +116,54 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// Merge returns the union of s and o, as if every observation recorded
+// into either histogram had been recorded into one. Every Histogram in
+// the process (and, because the bucketing is a pure function of the
+// value, in every process of a fleet) shares the same fixed bucket
+// boundaries, so bucket lists merge losslessly by upper bound: the
+// merged quantiles are exactly what one histogram over the combined
+// observations would report. This is what lets a gateway aggregate
+// per-backend /stats histograms into a fleet-wide view instead of
+// averaging quantiles (which is meaningless).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	m := Snapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Max:   s.Max,
+	}
+	if o.Max > m.Max {
+		m.Max = o.Max
+	}
+	m.Buckets = make([]Bucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Upper < o.Buckets[j].Upper):
+			m.Buckets = append(m.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Upper < s.Buckets[i].Upper:
+			m.Buckets = append(m.Buckets, o.Buckets[j])
+			j++
+		default: // same bucket in both
+			m.Buckets = append(m.Buckets, Bucket{Upper: s.Buckets[i].Upper, Count: s.Buckets[i].Count + o.Buckets[j].Count})
+			i, j = i+1, j+1
+		}
+	}
+	if len(m.Buckets) == 0 {
+		m.Buckets = nil
+	}
+	return m
+}
+
+// MergeAll folds any number of snapshots into one (see Merge).
+func MergeAll(ss ...Snapshot) Snapshot {
+	var m Snapshot
+	for _, s := range ss {
+		m = m.Merge(s)
+	}
+	return m
+}
+
 // Quantile returns a conservative (never underestimating) estimate of
 // the q-quantile, q in [0,1]: the upper bound of the bucket holding the
 // ceil(q·count)-th smallest observation. Returns 0 on an empty snapshot.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"sync"
 	"testing"
@@ -146,5 +147,42 @@ func TestConcurrentObserve(t *testing.T) {
 	}
 	if bucketTotal != s.Count {
 		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestSnapshotMerge pins the fleet-aggregation contract: merging two
+// snapshots is byte-identical to one histogram that saw every
+// observation, whatever the interleaving — so a gateway's merged
+// quantiles are exact, not approximations of approximations.
+func TestSnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b, all Histogram
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << uint(rng.Intn(40)))
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	got := a.Snapshot().Merge(b.Snapshot())
+	want := all.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged snapshot diverges from combined histogram:\n got %+v\nwant %+v", got, want)
+	}
+	if gs, ws := got.Summary(), want.Summary(); gs != ws {
+		t.Errorf("merged summary %+v != combined summary %+v", gs, ws)
+	}
+
+	// Merge with the empty snapshot is the identity; MergeAll folds.
+	if !reflect.DeepEqual(want.Merge(Snapshot{}), want) {
+		t.Error("merge with empty snapshot is not the identity")
+	}
+	if !reflect.DeepEqual(MergeAll(a.Snapshot(), b.Snapshot()), want) {
+		t.Error("MergeAll diverges from pairwise Merge")
+	}
+	if !reflect.DeepEqual(MergeAll(), Snapshot{}) {
+		t.Error("MergeAll() is not the zero snapshot")
 	}
 }

@@ -129,6 +129,12 @@ type Stats struct {
 	BatchSize metrics.Summary `json:"batch_size"`
 	// Latency summarizes per-request submit→completion time (ns).
 	Latency metrics.Summary `json:"latency_ns"`
+	// BatchSizeHist/LatencyHist are the full bucket snapshots behind the
+	// two summaries. Quantiles of different processes cannot be averaged;
+	// bucket snapshots merge exactly (metrics.Snapshot.Merge), which is
+	// how the gateway aggregates per-backend stats into a fleet view.
+	BatchSizeHist metrics.Snapshot `json:"batch_size_hist"`
+	LatencyHist   metrics.Snapshot `json:"latency_hist"`
 }
 
 // key is the coalescing address: requests batch together iff their
@@ -473,5 +479,7 @@ func (s *Scheduler) Stats() Stats {
 		QueueLimit:    s.opts.QueueDepth,
 		BatchSize:     s.batchSize.Summary(),
 		Latency:       s.latency.Summary(),
+		BatchSizeHist: s.batchSize.Snapshot(),
+		LatencyHist:   s.latency.Snapshot(),
 	}
 }

@@ -64,6 +64,10 @@ type HTTPStats struct {
 	// Latency summarizes whole-request wall time in nanoseconds,
 	// including scheduler queueing.
 	Latency metrics.Summary `json:"latency_ns"`
+	// LatencyHist is the full bucket snapshot behind Latency — the
+	// mergeable form a gateway aggregates across backends
+	// (metrics.Snapshot.Merge); quantiles themselves don't merge.
+	LatencyHist metrics.Snapshot `json:"latency_hist"`
 }
 
 // StatsResponse is the GET /stats body: engine counters (including
@@ -78,9 +82,10 @@ type StatsResponse struct {
 	Tune   engine.TuneStats `json:"tune"`
 }
 
-// maxRequestBytes bounds one /execute body; graphs and input batches
-// beyond it belong in multiple requests.
-const maxRequestBytes = 64 << 20
+// MaxRequestBytes bounds one /execute body; graphs and input batches
+// beyond it belong in multiple requests. Exported so the gateway applies
+// the same bound before buffering a body for hedged forwarding.
+const MaxRequestBytes = 64 << 20
 
 // Options configure a Server; the zero value is a production-ready
 // default.
@@ -166,15 +171,22 @@ func (s *Server) Drain() {
 	s.drainMu.Unlock() //nolint:staticcheck // empty critical section = barrier
 }
 
+// Draining reports whether Drain has started — the readiness signal
+// behind /healthz's 503. A gateway polls /healthz and removes a
+// draining backend from its hash ring so the shard fails over before
+// the process exits.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Stats snapshots all three layers.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Engine: s.eng.Stats(),
 		Sched:  s.sch.Stats(),
 		HTTP: HTTPStats{
-			Requests: s.requests.Load(),
-			Errors:   s.errors.Load(),
-			Latency:  s.latency.Summary(),
+			Requests:    s.requests.Load(),
+			Errors:      s.errors.Load(),
+			Latency:     s.latency.Summary(),
+			LatencyHist: s.latency.Snapshot(),
 		},
 		Tune: s.eng.TuneStats(),
 	}
@@ -226,7 +238,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req ExecuteRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes)).Decode(&req); err != nil {
 		s.fail(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
