@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dpuv2/internal/dse"
+)
+
+// smallArgs keeps CLI sweeps fast: tiny workloads, every grid point.
+var smallArgs = []string{"-scale", "0.01"}
+
+func TestDSEGridSweepReportsWinners(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(smallArgs, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"sweeping 48 configurations", "min latency:", "min energy:", "min EDP:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "anneal") {
+		t.Error("grid sweep mentioned anneal")
+	}
+}
+
+// TestDSEAnnealSearch runs -search anneal end to end and pins CLI-level
+// determinism: two same-seed runs write byte-identical traces.
+func TestDSEAnnealSearch(t *testing.T) {
+	runOnce := func(trace string) string {
+		var stdout, stderr bytes.Buffer
+		args := append(append([]string{}, smallArgs...),
+			"-search", "anneal", "-metric", "edp", "-seed", "5",
+			"-chains", "2", "-steps", "5", "-trace", trace)
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "t1.json")
+	t2 := filepath.Join(dir, "t2.json")
+	out := runOnce(t1)
+	runOnce(t2)
+
+	if !strings.Contains(out, "anneal:") || !strings.Contains(out, "anneal best:") {
+		t.Fatalf("anneal report missing:\n%s", out)
+	}
+	b1, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 || !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed traces not byte-identical (%d vs %d bytes)", len(b1), len(b2))
+	}
+	var tr dse.Trace
+	if err := json.Unmarshal(b1, &tr); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if tr.Seed != 5 || tr.Chains != 2 || tr.Steps != 5 || tr.Metric != "edp" {
+		t.Fatalf("trace does not record the search shape: %+v", tr)
+	}
+	if tr.Accepted+tr.Rejected != tr.Chains*tr.Steps {
+		t.Fatalf("trace accounting: %d+%d != %d", tr.Accepted, tr.Rejected, tr.Chains*tr.Steps)
+	}
+}
+
+func TestDSEBadInputs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown search":       {"-search", "genetic"},
+		"unknown metric":       {"-search", "anneal", "-metric", "throughput"},
+		"negative chains":      {"-search", "anneal", "-chains", "-1"},
+		"negative steps":       {"-search", "anneal", "-steps", "-3"},
+		"trace without anneal": {"-trace", "/tmp/t.json"},
+		"unparseable flags":    {"-scale", "x"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+}
+
+func TestDSEHelpIsNotAnError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-search") {
+		t.Error("usage text does not document -search")
+	}
+}

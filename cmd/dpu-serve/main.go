@@ -56,7 +56,11 @@
 // graph; clients that need their exact config honored should be served
 // without -autotune. /stats reports the decision table,
 // tuned hits and in-flight tunes under "tune", and per-config machine
-// pools under "engine".
+// pools under "engine". -tune-search anneal makes background tunes run
+// simulated annealing over the enlarged config space (RNG seeded by
+// -tune-seed, deterministic at any worker count) instead of the fixed
+// grid; either way the decision's provenance records the search that
+// produced it.
 //
 // Example:
 //
@@ -101,6 +105,8 @@ func main() {
 	autotune := flag.Bool("autotune", false, "serve each graph fingerprint on its tuned config (stored .dputune decisions; unseen fingerprints tune in the background)")
 	tuneBudget := flag.Duration("tune-budget", 30*time.Second, "wall-clock budget per background tune (with -autotune)")
 	tuneMetric := flag.String("tune-metric", "latency", "background-tune optimization target: latency, energy or edp")
+	tuneSearch := flag.String("tune-search", "grid", "background-tune candidate search: grid (the 48-point sweep) or anneal (annealing over the enlarged space)")
+	tuneSeed := flag.Int64("tune-seed", 0, "anneal RNG seed for -tune-search anneal (recorded in decision provenance)")
 	readTimeout := flag.Duration("read-timeout", serve.DefaultReadTimeout, "close a connection that has not finished sending its request by then (slow-loris bound)")
 	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "reclaim idle keep-alive connections after this long")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the whole shutdown sequence (drain, background tunes, store flush, listener close)")
@@ -123,7 +129,12 @@ func main() {
 		if err := metric.ParseMetric(*tuneMetric); err != nil {
 			log.Fatal(err)
 		}
-		tuner = tune.New(tune.Options{Metric: metric, Budget: *tuneBudget})
+		var search tune.SearchKind
+		if err := search.Parse(*tuneSearch); err != nil {
+			log.Fatal(err)
+		}
+		tuner = tune.New(tune.Options{Metric: metric, Budget: *tuneBudget,
+			Search: search, Anneal: dse.AnnealOptions{Seed: *tuneSeed}})
 	}
 	eng := engine.New(engine.Options{CacheSize: *cache, Workers: *workers, PoolSize: *pool,
 		Store: store, AutoTune: *autotune, Tuner: tuner, Backend: backend})

@@ -21,6 +21,20 @@
 // decision machine-readably. The tuned config must beat the default
 // (-d/-b/-r) by -min-gain or the decision pins the default — autotuning
 // never makes a workload slower.
+//
+// -search selects the candidate search. The default, grid, sweeps the
+// paper's 48 points. anneal seeds simulated annealing from the best grid
+// point and explores the enlarged off-grid space (deeper trees, wider
+// bank/register ladders, alternate output topologies, data-memory
+// sizing); -seed doubles as the anneal RNG seed, and -chains/-steps/
+// -init-temp/-cool shape the schedule. The search is deterministic: the
+// same seed and budget-in-points reproduce the identical decision at any
+// -workers value, and -trace writes the accepted-move trace as JSON so
+// two runs can be diffed byte-for-byte (the CI determinism check does
+// exactly that):
+//
+//	dpu-tune -workload tretail -scale 0.02 -metric edp \
+//	         -search anneal -seed 7 -trace trace.json
 package main
 
 import (
@@ -59,6 +73,14 @@ type decisionJSON struct {
 	BudgetNS     int64            `json:"budget_ns"`
 	TunedAtUnix  int64            `json:"tuned_at_unix"`
 	Tuner        string           `json:"tuner"`
+	Search       string           `json:"search"`
+	AnnealSeed   int64            `json:"anneal_seed,omitempty"`
+	Chains       int              `json:"chains,omitempty"`
+	Steps        int              `json:"steps,omitempty"`
+	InitTemp     float64          `json:"init_temp,omitempty"`
+	Cool         float64          `json:"cool,omitempty"`
+	Accepted     int              `json:"accepted,omitempty"`
+	Rejected     int              `json:"rejected,omitempty"`
 }
 
 // run is the testable body of the command; it returns the process exit
@@ -77,8 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	points := fs.Int("points", 0, "max candidate configs to evaluate (0: whole grid)")
 	workers := fs.Int("workers", 0, "sweep worker count (0: one per CPU)")
 	minGain := fs.Float64("min-gain", 0.01, "relative improvement required to switch off the default (0: any strictly better candidate wins)")
-	seed := fs.Int64("seed", 0, "compiler randomization seed")
+	seed := fs.Int64("seed", 0, "compiler randomization seed; with -search anneal, also the search RNG seed")
 	part := fs.Int("partition", 0, "compiler coarse partition size (0 = off)")
+	searchName := fs.String("search", "grid", "candidate search: grid (the 48-point sweep) or anneal (simulated annealing over the enlarged space)")
+	chains := fs.Int("chains", 0, "anneal: independent chain count (0: default 4); part of the search identity, not a parallelism knob")
+	steps := fs.Int("steps", 0, "anneal: mutation steps per chain (0: default 48)")
+	initTemp := fs.Float64("init-temp", 0, "anneal: initial temperature as a relative metric distance (0: default 0.08)")
+	cool := fs.Float64("cool", 0, "anneal: geometric per-step cooling factor in (0,1] (0: default 0.92)")
+	tracePath := fs.String("trace", "", "with -search anneal: write the accepted-move search trace as JSON to this file")
 	storeDir := fs.String("store", "", "persist the decision and the pre-compiled tuned program into this artifact store")
 	dumpGraph := fs.String("dump-graph", "", "write the workload DAG to this file (dag text format), for submitting the identical fingerprint")
 	asJSON := fs.Bool("json", false, "print the decision as JSON")
@@ -92,6 +120,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var metric dse.Metric
 	if err := metric.ParseMetric(*metricName); err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var search tune.SearchKind
+	if err := search.Parse(*searchName); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *chains < 0 || *steps < 0 {
+		fmt.Fprintf(stderr, "dpu-tune: -chains %d / -steps %d must be non-negative\n", *chains, *steps)
+		return 2
+	}
+	if *initTemp < 0 || math.IsNaN(*initTemp) {
+		fmt.Fprintf(stderr, "dpu-tune: -init-temp %v must be a non-negative number\n", *initTemp)
+		return 2
+	}
+	if *cool < 0 || *cool > 1 || math.IsNaN(*cool) {
+		fmt.Fprintf(stderr, "dpu-tune: -cool %v must be in [0, 1]\n", *cool)
+		return 2
+	}
+	if *tracePath != "" && search != tune.SearchAnneal {
+		fmt.Fprintln(stderr, "dpu-tune: -trace requires -search anneal")
 		return 2
 	}
 
@@ -150,14 +199,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		MaxPoints: *points,
 		Workers:   *workers,
 		MinGain:   mg,
+		Search:    search,
+		Anneal: dse.AnnealOptions{
+			Seed:     *seed,
+			Chains:   *chains,
+			Steps:    *steps,
+			InitTemp: *initTemp,
+			Cool:     *cool,
+		},
 	})
 	start := time.Now()
-	dec, err := tuner.Tune(context.Background(), g, def, copts)
+	dec, trace, err := tuner.TuneTrace(context.Background(), g, def, copts)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	elapsed := time.Since(start)
+
+	if *tracePath != "" && trace != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		tenc := json.NewEncoder(f)
+		tenc.SetIndent("", "  ")
+		if err := tenc.Encode(trace); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 
 	improvement := 0.0
 	if dec.Provenance.DefaultScore > 0 {
@@ -180,6 +256,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			BudgetNS:     dec.Provenance.BudgetNS,
 			TunedAtUnix:  dec.Provenance.TunedAtUnix,
 			Tuner:        dec.Provenance.Tuner,
+			Search:       dec.Provenance.Search,
+			AnnealSeed:   dec.Provenance.Seed,
+			Chains:       dec.Provenance.Chains,
+			Steps:        dec.Provenance.Steps,
+			InitTemp:     dec.Provenance.InitTemp,
+			Cool:         dec.Provenance.Cool,
+			Accepted:     dec.Provenance.Accepted,
+			Rejected:     dec.Provenance.Rejected,
 		}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -195,7 +279,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintf(stdout, "decision:    %v  score %.4f (%.1f%% better)\n", dec.Config, dec.Score, 100*improvement)
 		}
-		fmt.Fprintf(stdout, "evaluated:   %d of %d grid points in %v\n", dec.Provenance.Points, dec.Provenance.GridSize, elapsed.Round(time.Millisecond))
+		if p := dec.Provenance; p.Search == "anneal" {
+			fmt.Fprintf(stdout, "search:      anneal (seed %d, %d chains × %d steps, %d accepted / %d rejected)\n",
+				p.Seed, p.Chains, p.Steps, p.Accepted, p.Rejected)
+		}
+		fmt.Fprintf(stdout, "evaluated:   %d of %d candidate points in %v\n", dec.Provenance.Points, dec.Provenance.GridSize, elapsed.Round(time.Millisecond))
 	}
 
 	if *storeDir != "" {

@@ -111,3 +111,70 @@ func TestTuneHelpIsNotAnError(t *testing.T) {
 		t.Error("usage text does not document -metric")
 	}
 }
+
+// TestTuneAnnealSearch runs the anneal search end to end through the
+// CLI: the JSON decision must carry the anneal provenance and the
+// -trace file must be byte-identical across two same-seed runs — the
+// exact check CI's anneal-determinism step performs.
+func TestTuneAnnealSearch(t *testing.T) {
+	runOnce := func(trace string) decisionJSON {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-workload", "tretail", "-scale", "0.01", "-metric", "edp",
+			"-search", "anneal", "-seed", "7", "-chains", "2", "-steps", "6",
+			"-points", tinyPoints, "-trace", trace, "-json",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		var out decisionJSON
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+		}
+		return out
+	}
+
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "t1.json")
+	t2 := filepath.Join(dir, "t2.json")
+	out1 := runOnce(t1)
+	out2 := runOnce(t2)
+
+	if out1.Search != "anneal" || out1.AnnealSeed != 7 || out1.Chains != 2 || out1.Steps != 6 {
+		t.Fatalf("anneal provenance missing from decision JSON: %+v", out1)
+	}
+	if out1.InitTemp <= 0 || out1.Cool <= 0 {
+		t.Fatalf("temperature schedule missing: %+v", out1)
+	}
+	if out1.Config != out2.Config || out1.Score != out2.Score {
+		t.Fatalf("same-seed runs disagree: %+v vs %+v", out1, out2)
+	}
+	b1, err := os.ReadFile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 || !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed traces not byte-identical (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+func TestTuneAnnealBadInputs(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown search":       {"-search", "genetic"},
+		"negative chains":      {"-search", "anneal", "-chains", "-1"},
+		"negative steps":       {"-search", "anneal", "-steps", "-2"},
+		"negative init temp":   {"-search", "anneal", "-init-temp", "-0.5"},
+		"cool above one":       {"-search", "anneal", "-cool", "1.5"},
+		"trace without anneal": {"-trace", "/tmp/t.json"},
+		"unparseable chains":   {"-chains", "x"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit %d, want 2", name, code)
+		}
+	}
+}

@@ -13,17 +13,24 @@
 //
 //	offset  size  field
 //	0       8     magic "\x7fDPUTUNE"
-//	8       2     decision format version (currently 1)
+//	8       2     decision format version (currently 2)
 //	10      4     CRC-32C (Castagnoli) of the payload
 //	14      8     payload length in bytes
 //	22      …     payload
 //
 // The payload is the same canonical varint encoding the artifact uses:
 // minimal varints, fixed field order, normalized config/options —
-// EncodeDecisionBytes(DecodeDecisionBytes(x)) == x whenever decoding
-// succeeds. Malformed input yields the package's typed errors
-// (ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum, ErrCorrupt),
-// never a panic. Any payload layout change must bump DecisionVersion.
+// EncodeDecisionBytes(DecodeDecisionBytes(x)) == x whenever decoding a
+// current-version image succeeds. Malformed input yields the package's
+// typed errors (ErrBadMagic, ErrVersion, ErrTruncated, ErrChecksum,
+// ErrCorrupt), never a panic. Any payload layout change must bump
+// DecisionVersion.
+//
+// Version history: v2 appended the search-provenance fields (search
+// kind, anneal seed, chains, steps, temperature schedule,
+// accepted/rejected counts). v1 records — grid-sweep decisions written
+// before annealing existed — still decode, with those fields zero;
+// encoding always writes the current version.
 package artifact
 
 import (
@@ -38,8 +45,13 @@ import (
 	"dpuv2/internal/dag"
 )
 
-// DecisionVersion is the current .dputune format version.
-const DecisionVersion = 1
+// DecisionVersion is the current .dputune format version. Records at
+// decisionMinVersion..DecisionVersion decode; encoding always writes
+// DecisionVersion.
+const DecisionVersion = 2
+
+// decisionMinVersion is the oldest format the decoder still reads.
+const decisionMinVersion = 1
 
 // decisionMagic opens every decision record.
 var decisionMagic = [8]byte{0x7f, 'D', 'P', 'U', 'T', 'U', 'N', 'E'}
@@ -66,8 +78,23 @@ type Provenance struct {
 	// TunedAtUnix is when the decision was made (Unix seconds).
 	TunedAtUnix int64
 	// Tuner identifies the producing tool and its policy version,
-	// e.g. "dpu-tune/1".
+	// e.g. "dpu-tune/2".
 	Tuner string
+	// Search names the candidate-generation strategy: "grid" (the fixed
+	// sweep), "anneal" (simulated annealing over the enlarged space), or
+	// "" in records written before v2.
+	Search string
+	// The remaining fields reproduce an anneal search exactly (zero for
+	// grid decisions): the RNG seed, the chain/step shape, the
+	// temperature schedule (InitTemp, geometric Cool factor), and the
+	// accepted/rejected move counts of the run that produced Config.
+	Seed     int64
+	Chains   int
+	Steps    int
+	InitTemp float64
+	Cool     float64
+	Accepted int
+	Rejected int
 }
 
 // Decision is one per-workload autotuning outcome: serve the graph with
@@ -127,6 +154,24 @@ func EncodeDecisionBytes(d *Decision) ([]byte, error) {
 	if d.Provenance.BudgetNS < 0 {
 		return nil, fmt.Errorf("artifact: decision budget %d negative", d.Provenance.BudgetNS)
 	}
+	if err := checkSearch(d.Provenance.Search); err != nil {
+		return nil, fmt.Errorf("artifact: decision %w", err)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{{"chains", d.Provenance.Chains}, {"steps", d.Provenance.Steps},
+		{"accepted", d.Provenance.Accepted}, {"rejected", d.Provenance.Rejected}} {
+		if c.v < 0 || c.v > math.MaxInt32 {
+			return nil, fmt.Errorf("artifact: decision %s %d out of range", c.name, c.v)
+		}
+	}
+	if t := d.Provenance.InitTemp; math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+		return nil, fmt.Errorf("artifact: decision init temp %v not a finite non-negative number", t)
+	}
+	if c := d.Provenance.Cool; math.IsNaN(c) || c < 0 || c > 1 {
+		return nil, fmt.Errorf("artifact: decision cool factor %v outside [0, 1]", c)
+	}
 
 	var e enc
 	e.raw(d.Fingerprint[:])
@@ -141,6 +186,15 @@ func EncodeDecisionBytes(d *Decision) ([]byte, error) {
 	e.varint(d.Provenance.BudgetNS)
 	e.varint(d.Provenance.TunedAtUnix)
 	e.str(d.Provenance.Tuner)
+	// v2 search-provenance fields, always written on encode.
+	e.str(d.Provenance.Search)
+	e.varint(d.Provenance.Seed)
+	e.uvarint(uint64(d.Provenance.Chains))
+	e.uvarint(uint64(d.Provenance.Steps))
+	e.f64(d.Provenance.InitTemp)
+	e.f64(d.Provenance.Cool)
+	e.uvarint(uint64(d.Provenance.Accepted))
+	e.uvarint(uint64(d.Provenance.Rejected))
 
 	buf := make([]byte, headerSize, headerSize+len(e.buf))
 	copy(buf, decisionMagic[:])
@@ -163,8 +217,9 @@ func DecodeDecisionBytes(b []byte) (*Decision, error) {
 	if !bytes.Equal(b[:len(decisionMagic)], decisionMagic[:]) {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint16(b[8:]); v != DecisionVersion {
-		return nil, fmt.Errorf("%w: decision is v%d, this build reads v%d", ErrVersion, v, DecisionVersion)
+	version := int(binary.LittleEndian.Uint16(b[8:]))
+	if version < decisionMinVersion || version > DecisionVersion {
+		return nil, fmt.Errorf("%w: decision is v%d, this build reads v%d through v%d", ErrVersion, version, decisionMinVersion, DecisionVersion)
 	}
 	sum := binary.LittleEndian.Uint32(b[10:])
 	plen := binary.LittleEndian.Uint64(b[14:])
@@ -178,7 +233,18 @@ func DecodeDecisionBytes(b []byte) (*Decision, error) {
 	if got := crc32.Checksum(rest, castagnoli); got != sum {
 		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, sum, got)
 	}
-	return decodeDecisionPayload(rest)
+	return decodeDecisionPayload(rest, version)
+}
+
+// checkSearch bounds the search-kind provenance string to the known
+// vocabulary, shared by encode and decode so no other value can round-
+// trip through the format.
+func checkSearch(s string) error {
+	switch s {
+	case "", "grid", "anneal":
+		return nil
+	}
+	return fmt.Errorf("unknown search kind %q", s)
 }
 
 // decodeOptions reads one compiler-options section and validates it
@@ -246,7 +312,7 @@ func (d *dec) decisionStr(what string) string {
 	return string(d.raw(n))
 }
 
-func decodeDecisionPayload(b []byte) (*Decision, error) {
+func decodeDecisionPayload(b []byte, version int) (*Decision, error) {
 	d := &dec{buf: b}
 	dd := &Decision{}
 	copy(dd.Fingerprint[:], d.raw(len(dd.Fingerprint)))
@@ -270,6 +336,33 @@ func decodeDecisionPayload(b []byte) (*Decision, error) {
 	dd.Provenance.BudgetNS = budget
 	dd.Provenance.TunedAtUnix = d.varint()
 	dd.Provenance.Tuner = d.decisionStr("tuner")
+	if version >= 2 {
+		// Search-provenance fields appended in v2; a v1 payload ends at
+		// the tuner string and leaves them zero.
+		dd.Provenance.Search = d.decisionStr("search kind")
+		if d.err == nil {
+			if err := checkSearch(dd.Provenance.Search); err != nil {
+				d.fail("%v", err)
+			}
+		}
+		dd.Provenance.Seed = d.varint()
+		count := func(name string) int {
+			v := d.uvarint()
+			if d.err == nil && v > math.MaxInt32 {
+				d.fail("%s %d out of range", name, v)
+			}
+			return int(v)
+		}
+		dd.Provenance.Chains = count("chains")
+		dd.Provenance.Steps = count("steps")
+		dd.Provenance.InitTemp = d.score("init temp")
+		dd.Provenance.Cool = d.score("cool factor")
+		if d.err == nil && dd.Provenance.Cool > 1 {
+			d.fail("cool factor %v outside [0, 1]", dd.Provenance.Cool)
+		}
+		dd.Provenance.Accepted = count("accepted moves")
+		dd.Provenance.Rejected = count("rejected moves")
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

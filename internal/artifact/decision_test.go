@@ -2,7 +2,9 @@ package artifact
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -31,7 +33,117 @@ func sampleDecision() *Decision {
 			BudgetNS:     int64(30e9),
 			TunedAtUnix:  1_700_000_000,
 			Tuner:        "dpu-tune/1",
+			Search:       "grid",
 		},
+	}
+}
+
+// annealSampleDecision carries the full v2 search provenance.
+func annealSampleDecision() *Decision {
+	d := sampleDecision()
+	d.Provenance.Tuner = "dpu-tune/2"
+	d.Provenance.Search = "anneal"
+	d.Provenance.Seed = -9
+	d.Provenance.Chains = 4
+	d.Provenance.Steps = 48
+	d.Provenance.InitTemp = 0.08
+	d.Provenance.Cool = 0.92
+	d.Provenance.Accepted = 17
+	d.Provenance.Rejected = 175
+	d.Provenance.GridSize = 48 + 4*48 + 1
+	return d
+}
+
+// encodeDecisionV1ForTest writes d in the retired v1 layout (no search
+// provenance) so compatibility tests have authentic old-format images
+// without keeping binary fixtures around.
+func encodeDecisionV1ForTest(t testing.TB, d *Decision) []byte {
+	t.Helper()
+	var e enc
+	e.raw(d.Fingerprint[:])
+	e.config(d.Config.Normalize())
+	e.options(d.Options.Normalized())
+	e.f64(d.Score)
+	e.str(d.Provenance.Metric)
+	e.config(d.Provenance.Default.Normalize())
+	e.f64(d.Provenance.DefaultScore)
+	e.uvarint(uint64(d.Provenance.Points))
+	e.uvarint(uint64(d.Provenance.GridSize))
+	e.varint(d.Provenance.BudgetNS)
+	e.varint(d.Provenance.TunedAtUnix)
+	e.str(d.Provenance.Tuner)
+	buf := make([]byte, headerSize, headerSize+len(e.buf))
+	copy(buf, decisionMagic[:])
+	binary.LittleEndian.PutUint16(buf[8:], 1)
+	binary.LittleEndian.PutUint32(buf[10:], crc32.Checksum(e.buf, castagnoli))
+	binary.LittleEndian.PutUint64(buf[14:], uint64(len(e.buf)))
+	return append(buf, e.buf...)
+}
+
+// TestDecisionV1Decodes pins backward compatibility: `.dputune` records
+// written before the anneal fields existed still decode, with the
+// search provenance zero, and upgrade cleanly — re-encoding writes the
+// current version and round-trips.
+func TestDecisionV1Decodes(t *testing.T) {
+	want := sampleDecision()
+	want.Provenance.Search = "" // v1 predates the field
+	b := encodeDecisionV1ForTest(t, want)
+	got, err := DecodeDecisionBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("v1 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if p := got.Provenance; p.Search != "" || p.Seed != 0 || p.Chains != 0 || p.Steps != 0 ||
+		p.InitTemp != 0 || p.Cool != 0 || p.Accepted != 0 || p.Rejected != 0 {
+		t.Fatalf("v1 decode invented search provenance: %+v", p)
+	}
+
+	// Upgrading: the re-encoded image is v2 and round-trips.
+	up, err := EncodeDecisionBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint16(up[8:]); v != DecisionVersion {
+		t.Fatalf("re-encode wrote v%d, want v%d", v, DecisionVersion)
+	}
+	got2, err := DecodeDecisionBytes(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got2 != *got {
+		t.Fatalf("v1→v2 upgrade changed the decision:\n got %+v\nwant %+v", got2, got)
+	}
+
+	// A truncated v1 payload still fails typed, not silently.
+	short := encodeDecisionV1ForTest(t, want)
+	binary.LittleEndian.PutUint64(short[14:], uint64(len(short)-headerSize-2))
+	if _, err := DecodeDecisionBytes(short[:len(short)-2]); err == nil {
+		t.Fatal("truncated v1 payload decoded")
+	}
+}
+
+// TestDecisionAnnealRoundTrip covers the new v2 fields end to end.
+func TestDecisionAnnealRoundTrip(t *testing.T) {
+	d := annealSampleDecision()
+	b, err := EncodeDecisionBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDecisionBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *d {
+		t.Fatalf("anneal round trip changed the decision:\n got %+v\nwant %+v", got, d)
+	}
+	b2, err := EncodeDecisionBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode not byte-identical")
 	}
 }
 
@@ -87,6 +199,12 @@ func TestDecisionEncodeRejectsGarbage(t *testing.T) {
 		"oversized metric":    func(d *Decision) { d.Provenance.Metric = string(make([]byte, maxDecisionStr+1)) },
 		"negative gridsize":   func(d *Decision) { d.Provenance.GridSize = -1; d.Provenance.Points = -1 },
 		"huge compile window": func(d *Decision) { d.Options.Window = maxTuning + 1 },
+		"unknown search kind": func(d *Decision) { d.Provenance.Search = "genetic" },
+		"negative chains":     func(d *Decision) { d.Provenance.Chains = -1 },
+		"huge steps":          func(d *Decision) { d.Provenance.Steps = 1 << 40 },
+		"nan init temp":       func(d *Decision) { d.Provenance.InitTemp = nan() },
+		"cool above one":      func(d *Decision) { d.Provenance.Cool = 1.5 },
+		"negative accepted":   func(d *Decision) { d.Provenance.Accepted = -1 },
 	} {
 		d := sampleDecision()
 		mutate(d)
@@ -266,7 +384,13 @@ func FuzzDecisionDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	annealed, err := EncodeDecisionBytes(annealSampleDecision())
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(valid)
+	f.Add(annealed)
+	f.Add(encodeDecisionV1ForTest(f, sampleDecision()))
 	f.Add(valid[:headerSize])
 	f.Add([]byte{})
 	trunc := append([]byte(nil), valid[:len(valid)-4]...)
@@ -288,8 +412,22 @@ func FuzzDecisionDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoded decision does not re-encode: %v", err)
 		}
-		if !bytes.Equal(re, b) {
-			t.Fatalf("re-encode not byte-identical:\n in  %x\n out %x", b, re)
+		if binary.LittleEndian.Uint16(b[8:]) == DecisionVersion {
+			// Current-version images are canonical: re-encode is
+			// byte-identical.
+			if !bytes.Equal(re, b) {
+				t.Fatalf("re-encode not byte-identical:\n in  %x\n out %x", b, re)
+			}
+			return
+		}
+		// Accepted older versions upgrade: the re-encode is the current
+		// version and preserves the decision exactly.
+		d2, err := DecodeDecisionBytes(re)
+		if err != nil {
+			t.Fatalf("upgraded image does not decode: %v", err)
+		}
+		if *d2 != *d {
+			t.Fatalf("upgrade changed the decision:\n got %+v\nwant %+v", d2, d)
 		}
 	})
 }

@@ -1,0 +1,288 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/dag"
+	"dpuv2/internal/engine"
+	"dpuv2/internal/pc"
+)
+
+// diffFields counts the config fields in which a and b differ, so the
+// one-knob-per-step contract is checkable directly.
+func diffFields(a, b arch.Config) int {
+	n := 0
+	if a.D != b.D {
+		n++
+	}
+	if a.B != b.B {
+		n++
+	}
+	if a.R != b.R {
+		n++
+	}
+	if a.Output != b.Output {
+		n++
+	}
+	if a.DataMemWords != b.DataMemWords {
+		n++
+	}
+	if a.ClockMHz != b.ClockMHz {
+		n++
+	}
+	return n
+}
+
+// TestMutatePropertyInvariants random-walks the mutation operator for
+// thousands of steps from several feasible seeds and checks the hard
+// invariants: every emitted candidate validates, passes
+// engine.CheckMachineBounds, is already in normalized form, differs
+// from its parent in exactly the knob the operator names — and over
+// the walk every knob actually mutates.
+func TestMutatePropertyInvariants(t *testing.T) {
+	seeds := []arch.Config{
+		arch.MinEDP().Normalize(),
+		{D: 1, B: 8, R: 16, Output: arch.OutPerLayer},
+		{D: 6, B: 128, R: 256, Output: arch.OutPerPE},
+	}
+	for si, seed := range seeds {
+		seed = seed.Normalize()
+		if err := seed.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v", si, err)
+		}
+		if err := engine.CheckMachineBounds(seed); err != nil {
+			t.Fatalf("seed %d out of bounds: %v", si, err)
+		}
+		rng := rand.New(rand.NewPCG(42, uint64(si)))
+		knobs := map[string]int{}
+		cur := seed
+		for step := 0; step < 3000; step++ {
+			cand, knob := mutateConfig(cur, engine.CheckMachineBounds, rng)
+			if knob == "" {
+				t.Fatalf("seed %d step %d: no valid neighbor from %v", si, step, cur)
+			}
+			if err := cand.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: invalid candidate %v: %v", si, step, cand, err)
+			}
+			if err := engine.CheckMachineBounds(cand); err != nil {
+				t.Fatalf("seed %d step %d: candidate %v out of machine bounds: %v", si, step, cand, err)
+			}
+			if cand != cand.Normalize() {
+				t.Fatalf("seed %d step %d: candidate %v not normalized", si, step, cand)
+			}
+			if n := diffFields(cur, cand); n != 1 {
+				t.Fatalf("seed %d step %d: %d knobs changed (%v -> %v), want exactly 1 (%s)", si, step, n, cur, cand, knob)
+			}
+			knobs[knob]++
+			cur = cand
+		}
+		for _, k := range []string{"D", "B", "R", "Output", "DataMemWords"} {
+			if knobs[k] == 0 {
+				t.Errorf("seed %d: knob %s never mutated over the walk (%v)", si, k, knobs)
+			}
+		}
+	}
+}
+
+func TestLadderStep(t *testing.T) {
+	ladder := []int{8, 16, 32, 64}
+	cases := []struct {
+		v    int
+		up   bool
+		want int
+	}{
+		{16, true, 32},
+		{16, false, 8},
+		{8, false, 8},   // bottom edge: unchanged
+		{64, true, 64},  // top edge: unchanged
+		{24, true, 32},  // off-ladder snaps to the next rung up
+		{24, false, 16}, // … and down
+		{100, false, 64},
+		{4, true, 8},
+	}
+	for _, c := range cases {
+		if got := ladderStep(ladder, c.v, c.up); got != c.want {
+			t.Errorf("ladderStep(%v, up=%v) = %d, want %d", c.v, c.up, got, c.want)
+		}
+	}
+}
+
+// annealFixture is the small deterministic workload the determinism
+// matrix runs on: one graph, a six-config start set, a short schedule.
+func annealFixture() ([]*dag.Graph, AnnealOptions) {
+	g := pc.Build(pc.Suite()[0], 0.01)
+	start := []arch.Config{
+		{D: 1, B: 8, R: 16, Output: arch.OutPerLayer},
+		{D: 2, B: 16, R: 16, Output: arch.OutPerLayer},
+		{D: 2, B: 16, R: 32, Output: arch.OutPerLayer},
+		{D: 3, B: 32, R: 32, Output: arch.OutPerLayer},
+		{D: 3, B: 64, R: 32, Output: arch.OutPerLayer},
+		{D: 3, B: 64, R: 64, Output: arch.OutPerLayer},
+	}
+	return []*dag.Graph{g}, AnnealOptions{
+		Seed:   7,
+		Chains: 3,
+		Steps:  10,
+		Metric: MinEDP,
+		Start:  start,
+	}
+}
+
+// TestAnnealDeterminismMatrix pins the hard contract: the same seed
+// reproduces a bitwise-identical trace (JSON-encoded accepted-move
+// record) and winner across repeated runs and across workers ∈
+// {1, 4, GOMAXPROCS}; a different seed diverges.
+func TestAnnealDeterminismMatrix(t *testing.T) {
+	suite, aopts := annealFixture()
+	ctx := context.Background()
+
+	type outcome struct {
+		trace  []byte
+		winner arch.Config
+		value  float64
+		points int
+	}
+	runOnce := func(workers int, seed int64) outcome {
+		o := aopts
+		o.Workers = workers
+		o.Seed = seed
+		points, tr := SearchAnneal(ctx, suite, compiler.Options{}, o)
+		b, ok := Best(points, o.Metric)
+		if !ok {
+			t.Fatalf("workers=%d seed=%d: no feasible point", workers, seed)
+		}
+		j, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{trace: j, winner: b.Cfg, value: o.Metric.Value(b), points: len(points)}
+	}
+
+	ref := runOnce(1, aopts.Seed)
+	if ref.points <= len(aopts.Start) {
+		t.Fatalf("no chain evaluations happened (%d points)", ref.points)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		for rep := 0; rep < 2; rep++ {
+			got := runOnce(workers, aopts.Seed)
+			if string(got.trace) != string(ref.trace) {
+				t.Fatalf("workers=%d rep=%d: trace diverged\nref: %s\ngot: %s", workers, rep, ref.trace, got.trace)
+			}
+			if got.winner != ref.winner || got.value != ref.value {
+				t.Fatalf("workers=%d rep=%d: winner %v (%v), ref %v (%v)", workers, rep, got.winner, got.value, ref.winner, ref.value)
+			}
+			if got.points != ref.points {
+				t.Fatalf("workers=%d rep=%d: %d points, ref %d", workers, rep, got.points, ref.points)
+			}
+		}
+	}
+
+	other := runOnce(1, aopts.Seed+1)
+	if string(other.trace) == string(ref.trace) {
+		t.Fatalf("seeds %d and %d produced identical traces", aopts.Seed, aopts.Seed+1)
+	}
+}
+
+// TestAnnealBeatsGrid is the acceptance criterion: on a Table I suite
+// workload, SearchAnneal finds a feasible config strictly better on the
+// metric than the best point of the paper's 48-point grid, and the same
+// seed reproduces that winner bit-identically at workers=1 and
+// workers=GOMAXPROCS.
+func TestAnnealBeatsGrid(t *testing.T) {
+	g := pc.Build(pc.Suite()[0], 0.02) // tretail
+	suite := []*dag.Graph{g}
+	ctx := context.Background()
+	const metric = MinEDP
+
+	gridPoints := SweepContext(ctx, suite, Grid(), compiler.Options{}, 0)
+	gridBest, ok := Best(gridPoints, metric)
+	if !ok {
+		t.Fatal("no feasible grid point")
+	}
+
+	runOnce := func(workers int) (Point, Trace) {
+		points, tr := SearchAnneal(ctx, suite, compiler.Options{}, AnnealOptions{
+			Seed:        3,
+			Metric:      metric,
+			StartPoints: gridPoints,
+			Workers:     workers,
+		})
+		best, ok := Best(points, metric)
+		if !ok {
+			t.Fatalf("workers=%d: no feasible point", workers)
+		}
+		return best, tr
+	}
+
+	b1, tr1 := runOnce(1)
+	if got, grid := metric.Value(b1), metric.Value(gridBest); got >= grid {
+		t.Fatalf("anneal best %v (%v) does not strictly beat grid best %v (%v)", b1.Cfg, got, gridBest.Cfg, grid)
+	}
+	for _, c := range Grid() {
+		if b1.Cfg == c.Normalize() {
+			t.Fatalf("anneal winner %v is a grid point — no off-grid exploration happened", b1.Cfg)
+		}
+	}
+
+	bN, trN := runOnce(runtime.GOMAXPROCS(0))
+	if b1.Cfg != bN.Cfg || metric.Value(b1) != metric.Value(bN) {
+		t.Fatalf("winner differs across worker counts: %v (%v) vs %v (%v)", b1.Cfg, metric.Value(b1), bN.Cfg, metric.Value(bN))
+	}
+	j1, _ := json.Marshal(tr1)
+	jN, _ := json.Marshal(trN)
+	if string(j1) != string(jN) {
+		t.Fatalf("trace differs across worker counts:\n%s\n%s", j1, jN)
+	}
+	if tr1.Accepted != len(tr1.Moves) {
+		t.Fatalf("trace accounting: %d accepted but %d moves", tr1.Accepted, len(tr1.Moves))
+	}
+}
+
+// TestAnnealCancellation pins the budget contract: a canceled context
+// returns promptly with the points evaluated so far and the best of
+// them — never an empty result, never a lost best-so-far.
+func TestAnnealCancellation(t *testing.T) {
+	suite, aopts := annealFixture()
+
+	// Pre-evaluated start set + already-expired context: the chains must
+	// not run, but the start winner must come back.
+	startPoints := SweepContext(context.Background(), suite, aopts.Start, compiler.Options{}, 0)
+	wantBest, ok := Best(startPoints, aopts.Metric)
+	if !ok {
+		t.Fatal("no feasible start point")
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := aopts
+	o.StartPoints = startPoints
+	points, tr := SearchAnneal(canceled, suite, compiler.Options{}, o)
+	if len(points) < len(startPoints) {
+		t.Fatalf("canceled run returned %d points, want at least the %d start points", len(points), len(startPoints))
+	}
+	if !tr.Canceled {
+		t.Error("trace does not report cancellation")
+	}
+	if got, ok := Best(points, o.Metric); !ok || got.Cfg != wantBest.Cfg {
+		t.Fatalf("canceled run lost the best-so-far: got %v ok=%v, want %v", got.Cfg, ok, wantBest.Cfg)
+	}
+	if len(tr.Moves) != 0 || tr.Evaluated != 0 {
+		t.Fatalf("canceled-before-start run still recorded work: %d moves, %d evaluated", len(tr.Moves), tr.Evaluated)
+	}
+
+	// Cancellation before the start sweep: the points still come back
+	// (labeled with the context error), just nothing is feasible.
+	o = aopts
+	points, tr = SearchAnneal(canceled, suite, compiler.Options{}, o)
+	if len(points) != len(aopts.Start) {
+		t.Fatalf("canceled start sweep returned %d points, want %d", len(points), len(aopts.Start))
+	}
+	if tr.StartFound || !tr.Canceled {
+		t.Fatalf("canceled start sweep: StartFound=%v Canceled=%v", tr.StartFound, tr.Canceled)
+	}
+}

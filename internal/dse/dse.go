@@ -206,7 +206,11 @@ func (m Metric) ValueOf(est energy.Estimate) float64 {
 	}
 }
 
-// Best returns the feasible point minimizing the metric.
+// Best returns the feasible point minimizing the metric. Equal metric
+// values break ties by the canonical config order (configLess), so the
+// winner is a pure function of the candidate *set*, never of slice
+// order — search-generated candidate lists (SearchAnneal) depend on
+// this for reproducible winners at any worker count.
 func Best(points []Point, m Metric) (Point, bool) {
 	best := Point{}
 	bestV := math.Inf(1)
@@ -215,9 +219,32 @@ func Best(points []Point, m Metric) (Point, bool) {
 		if !p.Feasible {
 			continue
 		}
-		if v := m.Value(p); v < bestV {
+		v := m.Value(p)
+		if !found || v < bestV || (v == bestV && configLess(p.Cfg, best.Cfg)) {
 			bestV, best, found = v, p, true
 		}
 	}
 	return best, found
+}
+
+// configLess is the canonical strict order on configurations used for
+// tie-breaking: D, then B, then R, then Output, then DataMemWords
+// (ClockMHz last for completeness).
+func configLess(a, b arch.Config) bool {
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	if a.R != b.R {
+		return a.R < b.R
+	}
+	if a.Output != b.Output {
+		return a.Output < b.Output
+	}
+	if a.DataMemWords != b.DataMemWords {
+		return a.DataMemWords < b.DataMemWords
+	}
+	return a.ClockMHz < b.ClockMHz
 }

@@ -240,3 +240,42 @@ func TestInfeasiblePointReported(t *testing.T) {
 		t.Fatal("infeasible point must carry its error")
 	}
 }
+
+// TestBestTieBreakIsCanonical pins the tie-breaking contract: among
+// points with deliberately duplicated metric values, Best picks the one
+// first in canonical config order (D, then B, then R, then Output, then
+// DataMemWords) no matter how the slice is ordered — search-generated
+// candidate lists depend on this for order-independent winners.
+func TestBestTieBreakIsCanonical(t *testing.T) {
+	mk := func(d, b, r int, out arch.OutputTopology, mem int, edp float64) Point {
+		cfg := arch.Config{D: d, B: b, R: r, Output: out, DataMemWords: mem}.Normalize()
+		return Point{Cfg: cfg, EDP: edp, Feasible: true}
+	}
+	tied := []Point{
+		mk(3, 64, 32, arch.OutPerLayer, 0, 5),
+		mk(2, 16, 8, arch.OutPerPE, 0, 5),
+		mk(2, 16, 8, arch.OutPerLayer, 1<<20, 5),
+		mk(2, 16, 8, arch.OutPerLayer, 0, 5), // canonical winner
+		mk(2, 64, 8, arch.OutPerLayer, 0, 5),
+		mk(1, 8, 16, arch.OutPerLayer, 0, 7), // worse score, better order: must lose
+	}
+	want := tied[3].Cfg
+
+	// Every rotation of the slice must elect the same winner.
+	for shift := range tied {
+		rotated := append(append([]Point{}, tied[shift:]...), tied[:shift]...)
+		best, ok := Best(rotated, MinEDP)
+		if !ok {
+			t.Fatal("no feasible point")
+		}
+		if best.Cfg != want {
+			t.Fatalf("rotation %d: winner %v, want %v", shift, best.Cfg, want)
+		}
+	}
+
+	// A strictly better score still beats a canonically smaller config.
+	withWin := append([]Point{mk(6, 128, 256, arch.OutPerPE, 0, 4)}, tied...)
+	if best, _ := Best(withWin, MinEDP); best.EDP != 4 {
+		t.Fatalf("tie-break overrode a strictly better score: %+v", best)
+	}
+}

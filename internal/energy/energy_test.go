@@ -205,3 +205,75 @@ func TestRankingStability(t *testing.T) {
 		}
 	}
 }
+
+// offGridCandidates are configurations from the annealing search's
+// enlarged space — deeper trees, B/R rungs past the grid edges,
+// alternate output topologies — all valid and within machine bounds.
+func offGridCandidates() []arch.Config {
+	return []arch.Config{
+		{D: 4, B: 32, R: 8, Output: arch.OutPerLayer},
+		{D: 4, B: 64, R: 16, Output: arch.OutPerLayer},
+		{D: 4, B: 128, R: 32, Output: arch.OutPerLayer},
+		{D: 5, B: 32, R: 64, Output: arch.OutPerLayer},
+		{D: 5, B: 64, R: 16, Output: arch.OutPerLayer},
+		{D: 6, B: 64, R: 8, Output: arch.OutPerLayer},
+		{D: 6, B: 128, R: 256, Output: arch.OutPerLayer},
+		{D: 1, B: 4, R: 8, Output: arch.OutPerLayer},
+		{D: 2, B: 4, R: 256, Output: arch.OutPerLayer},
+		{D: 3, B: 64, R: 32, Output: arch.OutPerPE},
+		{D: 2, B: 16, R: 16, Output: arch.OutCrossbar},
+	}
+}
+
+// TestRankingStabilityOffGrid extends the golden ranking to the
+// annealing search's enlarged candidate space: off-grid candidates must
+// rank reproducibly alongside the 48 grid points — same order under
+// shuffling, and a pinned golden head — so annealed decisions are as
+// stable as grid ones.
+func TestRankingStabilityOffGrid(t *testing.T) {
+	cfgs := make([]arch.Config, 0, 64)
+	for _, d := range []int{1, 2, 3} {
+		for _, b := range []int{8, 16, 32, 64} {
+			for _, r := range []int{16, 32, 64, 128} {
+				cfgs = append(cfgs, arch.Config{D: d, B: b, R: r, Output: arch.OutPerLayer})
+			}
+		}
+	}
+	cfgs = append(cfgs, offGridCandidates()...)
+	for _, c := range cfgs {
+		if err := c.Normalize().Validate(); err != nil {
+			t.Fatalf("candidate %v invalid: %v", c, err)
+		}
+	}
+	const ops = 10_000
+	base := rankByEDP(cfgs, ops)
+	if len(base) != len(cfgs) {
+		t.Fatalf("ranking dropped candidates: %d of %d", len(base), len(cfgs))
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		shuffled := append([]arch.Config(nil), cfgs...)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := rankByEDP(shuffled, ops)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("seed %d: rank %d is %s, was %s — ranking depends on evaluation order", seed, i, got[i], base[i])
+			}
+		}
+	}
+
+	// Golden head over the enlarged space. If a model change legitimately
+	// reorders it, update these and re-derive persisted anneal decisions.
+	golden := []string{
+		"D=6,B=64,R=8,per-layer",
+		"D=4,B=128,R=32,per-layer",
+		"D=4,B=64,R=16,per-layer",
+		"D=5,B=64,R=16,per-layer",
+	}
+	for i, want := range golden {
+		if base[i] != want {
+			t.Fatalf("golden rank %d: got %s, want %s (full head: %v)", i, base[i], want, base[:6])
+		}
+	}
+}

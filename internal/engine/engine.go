@@ -106,7 +106,10 @@ type Options struct {
 // comfortably cover every configuration of the paper (DPU-v2 (L) is
 // B=64, R=256, 4M-word memory). The serving layer applies the same
 // bounds to client-requested configs, and it is the default
-// DecisionGuard, so autotuning decisions cannot bypass them.
+// DecisionGuard, so autotuning decisions cannot bypass them. The
+// annealing search (dse.SearchAnneal) reuses this check as its default
+// mutation guard, so the search never proposes a configuration the
+// serving layer would refuse to instantiate.
 func CheckMachineBounds(cfg arch.Config) error {
 	cfg = cfg.Normalize()
 	const (

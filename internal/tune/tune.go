@@ -20,6 +20,17 @@
 //     the same workload, grid and budget-permitting machine produce the
 //     same decision — the property the energy ranking-stability test
 //     pins.
+//
+// Two search modes share that contract. SearchGrid (the default) sweeps
+// the candidate grid exactly as before. SearchAnneal seeds simulated
+// annealing (dse.SearchAnneal) from the best grid point and explores the
+// enlarged off-grid space — deeper trees, wider bank/register ladders,
+// alternate output topologies, data-memory sizing — with a fixed chain
+// count and a seeded PCG per chain, so the same (seed, budget-in-points)
+// reproduces the identical decision at any worker count. The decision's
+// provenance records which search ran and, for anneal, the seed, chain
+// shape, temperature schedule and accepted/rejected counts needed to
+// replay it.
 package tune
 
 import (
@@ -37,8 +48,45 @@ import (
 
 // Version names the tuning policy in decision provenance; bump when the
 // selection logic changes meaningfully (operators use it to decide which
-// persisted decisions to re-tune).
-const Version = "dpu-tune/1"
+// persisted decisions to re-tune). /2 added the anneal search mode and
+// canonical tie-breaking in dse.Best.
+const Version = "dpu-tune/2"
+
+// SearchKind selects how the tuner generates candidate configurations.
+type SearchKind int
+
+const (
+	// SearchGrid sweeps the candidate grid (the paper's 48 points by
+	// default) — the only mode before dpu-tune/2.
+	SearchGrid SearchKind = iota
+	// SearchAnneal seeds simulated annealing from the best grid point
+	// and explores the enlarged off-grid design space.
+	SearchAnneal
+)
+
+// String names the kind as recorded in decision provenance.
+func (k SearchKind) String() string {
+	switch k {
+	case SearchGrid:
+		return "grid"
+	case SearchAnneal:
+		return "anneal"
+	}
+	return fmt.Sprintf("search(%d)", int(k))
+}
+
+// Parse sets k from its provenance/flag spelling.
+func (k *SearchKind) Parse(s string) error {
+	switch s {
+	case "grid":
+		*k = SearchGrid
+	case "anneal":
+		*k = SearchAnneal
+	default:
+		return fmt.Errorf("tune: unknown search kind %q (want grid or anneal)", s)
+	}
+	return nil
+}
 
 // ErrNoFeasiblePoint reports a workload no candidate configuration (nor
 // the default) could compile and run.
@@ -74,6 +122,14 @@ type Options struct {
 	// Now is the decision-timestamp source, injectable for tests; nil
 	// means time.Now.
 	Now func() time.Time
+	// Search selects candidate generation: SearchGrid (default) sweeps
+	// Grid, SearchAnneal additionally runs simulated annealing seeded
+	// from the best grid point.
+	Search SearchKind
+	// Anneal parameterizes SearchAnneal (Seed, Chains, Steps, InitTemp,
+	// Cool). Metric, Start, Workers and Guard are supplied by the tuner
+	// and ignored here.
+	Anneal dse.AnnealOptions
 }
 
 func (o Options) normalize() Options {
@@ -114,6 +170,15 @@ func New(opts Options) *Tuner {
 // like a budget expiry. Tune only errors when not even the default
 // config is usable and no candidate was feasible either.
 func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts compiler.Options) (*artifact.Decision, error) {
+	d, _, err := t.TuneTrace(ctx, g, def, copts)
+	return d, err
+}
+
+// TuneTrace is Tune plus the search trace: for SearchAnneal it also
+// returns the dse.Trace that reproduces the run (nil in grid mode).
+// It is the call CLI frontends use to emit reproducibility records the
+// CI determinism check can diff.
+func (t *Tuner) TuneTrace(ctx context.Context, g *dag.Graph, def arch.Config, copts compiler.Options) (*artifact.Decision, *dse.Trace, error) {
 	def = def.Normalize()
 	copts = copts.Normalized()
 	start := t.opts.Now()
@@ -134,7 +199,7 @@ func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts c
 	grid := make([]arch.Config, 0, len(t.opts.Grid))
 	for _, c := range t.opts.Grid {
 		c = c.Normalize()
-		if c == def {
+		if t.opts.Search == SearchGrid && c == def {
 			continue // already measured as the baseline
 		}
 		grid = append(grid, c)
@@ -142,13 +207,32 @@ func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts c
 	// GridSize records the full candidate space (plus the baseline),
 	// captured before any MaxPoints truncation: provenance must show
 	// when a search was not exhaustive, or nobody re-tunes decisions
-	// that deserve it.
+	// that deserve it. In anneal mode the space also includes every
+	// chain step the schedule could evaluate.
 	gridSize := len(grid) + 1
 	if t.opts.MaxPoints > 0 && len(grid) > t.opts.MaxPoints {
 		grid = grid[:t.opts.MaxPoints]
 	}
 
-	points := dse.SweepContext(ctx, []*dag.Graph{g}, grid, copts, t.opts.Workers)
+	var points []dse.Point
+	var trace *dse.Trace
+	if t.opts.Search == SearchAnneal {
+		// The def config stays in the start set here (unlike grid mode):
+		// annealing seeds from the best start point, and dropping the
+		// baseline could seed the chains from a worse corner.
+		aopts := t.opts.Anneal
+		aopts.Metric = t.opts.Metric
+		aopts.Workers = t.opts.Workers
+		aopts.Start = grid
+		aopts.StartPoints = nil
+		aopts.Guard = nil // engine.CheckMachineBounds
+		var tr dse.Trace
+		points, tr = dse.SearchAnneal(ctx, []*dag.Graph{g}, copts, aopts)
+		trace = &tr
+		gridSize += tr.Chains * tr.Steps
+	} else {
+		points = dse.SweepContext(ctx, []*dag.Graph{g}, grid, copts, t.opts.Workers)
+	}
 	evaluated := 0
 	for _, p := range points {
 		if !errors.Is(p.Err, context.Canceled) && !errors.Is(p.Err, context.DeadlineExceeded) {
@@ -173,13 +257,23 @@ func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts c
 			BudgetNS:     int64(t.opts.Budget),
 			TunedAtUnix:  start.Unix(),
 			Tuner:        Version,
+			Search:       t.opts.Search.String(),
 		},
+	}
+	if trace != nil {
+		d.Provenance.Seed = trace.Seed
+		d.Provenance.Chains = trace.Chains
+		d.Provenance.Steps = trace.Steps
+		d.Provenance.InitTemp = trace.InitTemp
+		d.Provenance.Cool = trace.Cool
+		d.Provenance.Accepted = trace.Accepted
+		d.Provenance.Rejected = trace.Rejected
 	}
 
 	best, ok := dse.Best(points, t.opts.Metric)
 	switch {
 	case defErr != nil && !ok:
-		return nil, fmt.Errorf("%w: default %v failed (%v) and no candidate was feasible", ErrNoFeasiblePoint, def, defErr)
+		return nil, nil, fmt.Errorf("%w: default %v failed (%v) and no candidate was feasible", ErrNoFeasiblePoint, def, defErr)
 	case defErr != nil:
 		// The requested config cannot even run the workload; any feasible
 		// candidate is an improvement.
@@ -188,7 +282,7 @@ func (t *Tuner) Tune(ctx context.Context, g *dag.Graph, def arch.Config, copts c
 	case ok && t.opts.Metric.Value(best) < defScore*(1-t.opts.MinGain):
 		d.Config, d.Score = best.Cfg, t.opts.Metric.Value(best)
 	}
-	return d, nil
+	return d, trace, nil
 }
 
 // evaluate scores one configuration on the tuner's metric.

@@ -2,7 +2,9 @@ package tune
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -266,5 +268,125 @@ func BenchmarkTunedVsDefault(b *testing.B) {
 			b.ReportMetric(float64(cycles), "simcycles/op")
 			b.ReportMetric(float64(cycles)*1e3/c.Prog.Cfg.ClockMHz, "hw_ns/op")
 		})
+	}
+}
+
+// annealTuneOptions is a small, fast anneal-search configuration over a
+// truncated candidate grid.
+func annealTuneOptions(workers int) Options {
+	return Options{
+		Metric:  dse.MinEDP,
+		Workers: workers,
+		Grid: []arch.Config{
+			{D: 2, B: 16, R: 16, Output: arch.OutPerLayer},
+			{D: 2, B: 16, R: 32, Output: arch.OutPerLayer},
+			{D: 3, B: 64, R: 32, Output: arch.OutPerLayer},
+			{D: 3, B: 64, R: 64, Output: arch.OutPerLayer},
+		},
+		Search: SearchAnneal,
+		Anneal: dse.AnnealOptions{Seed: 11, Chains: 2, Steps: 8},
+	}
+}
+
+// TestTunerAnnealSearch exercises the anneal search mode end to end:
+// the decision must carry complete, encodable anneal provenance and the
+// trace must account for every scheduled step.
+func TestTunerAnnealSearch(t *testing.T) {
+	g := pc.Build(pc.Suite()[0], 0.01)
+	tuner := New(annealTuneOptions(0))
+	d, tr, err := tuner.TuneTrace(context.Background(), g, arch.MinEDP(), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("anneal search returned no trace")
+	}
+	p := d.Provenance
+	if p.Search != "anneal" || p.Tuner != Version {
+		t.Fatalf("provenance incomplete: %+v", p)
+	}
+	if p.Seed != 11 || p.Chains != 2 || p.Steps != 8 {
+		t.Fatalf("anneal shape not recorded: %+v", p)
+	}
+	if p.InitTemp <= 0 || p.Cool <= 0 || p.Cool > 1 {
+		t.Fatalf("temperature schedule not recorded: %+v", p)
+	}
+	if p.Accepted != tr.Accepted || p.Rejected != tr.Rejected {
+		t.Fatalf("provenance counts %d/%d disagree with trace %d/%d", p.Accepted, p.Rejected, tr.Accepted, tr.Rejected)
+	}
+	if got := tr.Accepted + tr.Rejected; got != p.Chains*p.Steps {
+		t.Fatalf("accepted+rejected = %d, want chains×steps = %d", got, p.Chains*p.Steps)
+	}
+	if p.GridSize != len(tuner.opts.Grid)+p.Chains*p.Steps+1 {
+		t.Fatalf("grid size %d does not cover start set + schedule + baseline", p.GridSize)
+	}
+	if p.Points > p.GridSize {
+		t.Fatalf("evaluated %d of %d", p.Points, p.GridSize)
+	}
+
+	// The bumped decision format must round-trip the new fields.
+	b, err := artifact.EncodeDecisionBytes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := artifact.DecodeDecisionBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back != *d {
+		t.Fatalf("decision did not round-trip:\n got %+v\nwant %+v", back, d)
+	}
+}
+
+// TestTunerAnnealDeterministic pins the tuner-level determinism
+// contract: same seed → identical decision and trace at any worker
+// count; different seed → the trace diverges.
+func TestTunerAnnealDeterministic(t *testing.T) {
+	g := pc.Build(pc.Suite()[0], 0.01)
+	now := func() time.Time { return time.Unix(1700000000, 0) }
+
+	run := func(workers int, seed int64) (*artifact.Decision, string) {
+		opts := annealTuneOptions(workers)
+		opts.Anneal.Seed = seed
+		opts.Now = now
+		d, tr, err := New(opts).TuneTrace(context.Background(), g, arch.MinEDP(), compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, string(j)
+	}
+
+	refD, refT := run(1, 11)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		d, tr := run(workers, 11)
+		if *d != *refD {
+			t.Fatalf("workers=%d: decision diverged:\n got %+v\nwant %+v", workers, d, refD)
+		}
+		if tr != refT {
+			t.Fatalf("workers=%d: trace diverged:\n got %s\nwant %s", workers, tr, refT)
+		}
+	}
+	if _, tr := run(1, 12); tr == refT {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSearchKindParse(t *testing.T) {
+	var k SearchKind
+	if err := k.Parse("anneal"); err != nil || k != SearchAnneal {
+		t.Fatalf("Parse(anneal) = %v, %v", k, err)
+	}
+	if err := k.Parse("grid"); err != nil || k != SearchGrid {
+		t.Fatalf("Parse(grid) = %v, %v", k, err)
+	}
+	if err := k.Parse("random"); err == nil {
+		t.Fatal("Parse(random) did not fail")
+	}
+	if SearchGrid.String() != "grid" || SearchAnneal.String() != "anneal" {
+		t.Fatal("SearchKind.String mismatch")
 	}
 }
