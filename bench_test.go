@@ -27,6 +27,7 @@ import (
 	"dpuv2/internal/sim"
 	"dpuv2/internal/sptrsv"
 	"dpuv2/internal/suite"
+	"dpuv2/internal/trace"
 )
 
 func benchConfig() bench.Config {
@@ -459,6 +460,32 @@ func TestSchedulerSubmitAllocCeiling(t *testing.T) {
 	const ceiling = 40
 	if allocs > ceiling {
 		t.Errorf("scheduler round trip allocates %v objects per submission, ceiling %d", allocs, ceiling)
+	}
+}
+
+// TestSchedulerSubmitTracedAllocCeiling pins tracing's hot-path cost:
+// a submission carrying a live trace stays under the same generous
+// ceiling as an untraced one — span recording appends into the trace's
+// preallocated buffer and must not add per-item heap traffic.
+func TestSchedulerSubmitTracedAllocCeiling(t *testing.T) {
+	g, in, cfg := serveConcurrentWorkload()
+	eng := engine.New(engine.Options{Workers: 1})
+	sch := sched.New(eng, sched.Options{Linger: -1})
+	defer sch.Close()
+	tracer := trace.New(trace.Options{SampleEvery: 1, MaxSpans: 4096})
+	tr := tracer.Start(trace.ID{}, "bench", time.Time{})
+	defer tracer.Finish(tr)
+	if _, err := sch.SubmitTraced(g, cfg, compiler.Options{}, in, tr); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sch.SubmitTraced(g, cfg, compiler.Options{}, in, tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 40 // identical to the untraced ceiling
+	if allocs > ceiling {
+		t.Errorf("traced round trip allocates %v objects per submission, ceiling %d", allocs, ceiling)
 	}
 }
 

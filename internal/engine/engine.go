@@ -41,6 +41,7 @@ import (
 	"dpuv2/internal/dag"
 	"dpuv2/internal/par"
 	"dpuv2/internal/sim"
+	"dpuv2/internal/trace"
 	"dpuv2/internal/verify"
 )
 
@@ -308,6 +309,14 @@ func New(opts Options) *Engine {
 // failures surface to every waiting caller and are not cached, so a
 // transient failure does not poison the key.
 func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (*compiler.Compiled, error) {
+	c, err, _ := e.compile(g, cfg, opts, nil, -1)
+	return c, err
+}
+
+// compile is Compile with an optional trace threaded through (see
+// CompileTraced in trace.go): resolveMiss records store_decode/compile
+// spans under parent, and hit reports whether the cache answered.
+func (e *Engine) compile(g *dag.Graph, cfg arch.Config, opts compiler.Options, tr *trace.Trace, parent int) (_ *compiler.Compiled, _ error, hit bool) {
 	k := cacheKey{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: opts.Normalized()}
 
 	e.mu.Lock()
@@ -334,9 +343,9 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 				}
 			}
 			return nil, fmt.Errorf("engine: cached program for %s maps %d nodes, graph has %d (poisoned artifact evicted; retry recompiles)",
-				k.fp.Short(), len(ent.c.Remap), g.NumNodes())
+				k.fp.Short(), len(ent.c.Remap), g.NumNodes()), true
 		}
-		return ent.c, ent.err
+		return ent.c, ent.err, true
 	}
 	e.misses++
 	ent := &entry{key: k, done: make(chan struct{})}
@@ -345,7 +354,7 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	e.evictLocked()
 	e.mu.Unlock()
 
-	c, err := e.resolveMiss(g, k)
+	c, err := e.resolveMiss(g, k, tr, parent)
 	e.mu.Lock()
 	ent.c, ent.err = c, err
 	if err != nil && e.entries[k] == ent {
@@ -357,7 +366,7 @@ func (e *Engine) Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (
 	// entry was still compiling could not evict anything.
 	e.evictLocked()
 	e.mu.Unlock()
-	return c, err
+	return c, err, false
 }
 
 // maxVerifiedKeys bounds the verification memo; past it the memo is
@@ -393,14 +402,19 @@ func (e *Engine) verifyDecoded(k cacheKey, c *compiler.Compiled) bool {
 // resolveMiss produces the compiled program for a cache miss: a backing
 // store is consulted first (a decoded artifact is bit-identical to a
 // fresh compilation and much cheaper); otherwise the graph is compiled
-// and, on success, persisted to the store off the request path.
-func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, error) {
+// and, on success, persisted to the store off the request path. The
+// store consult and the compilation record spans under parent when a
+// trace rides the miss (tr and every span handle are nil-safe).
+func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey, tr *trace.Trace, parent int) (*compiler.Compiled, error) {
 	if st := e.opts.Store; st != nil {
+		sd := tr.Begin("store_decode", parent)
 		key := artifact.Key{Fingerprint: k.fp, Config: k.cfg, Options: k.opts}
 		switch a, err := st.Get(key); {
 		case err == nil && len(a.Compiled.Remap) == g.NumNodes():
 			if e.verifyDecoded(k, a.Compiled) {
 				e.storeHits.Add(1)
+				tr.SetAttrs(sd, trace.Bool("hit", true))
+				tr.End(sd)
 				return a.Compiled, nil
 			}
 			// The CRC matched but the program is illegal for the machine
@@ -423,6 +437,8 @@ func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, erro
 			// persist can land).
 			e.storeErrors.Add(1)
 		}
+		tr.SetAttrs(sd, trace.Bool("hit", false))
+		tr.End(sd)
 	}
 	// A binary graph would be carried by the Compiled as-is (non-binary
 	// graphs are binarized into a fresh one), aliasing the caller's
@@ -433,7 +449,10 @@ func (e *Engine) resolveMiss(g *dag.Graph, k cacheKey) (*compiler.Compiled, erro
 	if g.IsBinary() {
 		cg = g.Clone()
 	}
+	cs := tr.Begin("compile", parent)
+	tr.SetAttrs(cs, trace.Int("nodes", int64(g.NumNodes())))
 	c, err := compiler.Compile(cg, k.cfg, k.opts)
+	tr.End(cs)
 	if err == nil && e.opts.VerifyCompiles {
 		if fs := verify.Compiled(c); verify.HasErrors(fs) {
 			return nil, fmt.Errorf("engine: compiler emitted a program that fails verification (%s)", verify.Summary(fs))

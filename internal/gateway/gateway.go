@@ -50,6 +50,7 @@ import (
 	"dpuv2/internal/dag"
 	"dpuv2/internal/metrics"
 	"dpuv2/internal/serve"
+	"dpuv2/internal/trace"
 )
 
 // DefaultVNodes is the virtual-node count per backend: enough that two
@@ -81,6 +82,12 @@ type Options struct {
 	// Logf receives membership transitions and proxy errors.
 	// Default log.Printf.
 	Logf func(format string, args ...any)
+	// Trace configures request tracing (see trace.Options). A request
+	// carrying a traceparent header is always traced; others are sampled.
+	// The gateway re-stamps the header with its own span ID before
+	// forwarding, so the backend's trace shares the gateway's trace ID —
+	// one ID names the request on both sides of the hop.
+	Trace trace.Options
 }
 
 func (o Options) normalize() Options {
@@ -166,6 +173,7 @@ type Gateway struct {
 	failovers atomic.Int64
 	rejected  atomic.Int64 // no live backend / all attempts failed
 	latency   metrics.Histogram
+	tracer    *trace.Tracer
 
 	draining atomic.Bool
 	mux      *http.ServeMux
@@ -215,15 +223,26 @@ func New(opts Options) (*Gateway, error) {
 	gw.stopped.Add(1)
 	go gw.healthLoop()
 
+	topts := opts.Trace
+	if topts.Service == "" {
+		topts.Service = "gateway"
+	}
+	gw.tracer = trace.New(topts)
+
 	gw.mux = http.NewServeMux()
 	gw.mux.HandleFunc("/execute", gw.handleExecute)
 	gw.mux.HandleFunc("/stats", gw.handleStats)
+	gw.mux.HandleFunc("/metrics", gw.handleMetrics)
+	gw.mux.HandleFunc("/traces", gw.tracer.Handler())
 	gw.mux.HandleFunc("/healthz", gw.handleHealthz)
 	return gw, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Tracer exposes the request tracer (tests and diagnostics).
+func (g *Gateway) Tracer() *trace.Tracer { return g.tracer }
 
 // Drain flips /healthz to 503 and rejects new /execute requests, so a
 // front balancer (or a gateway-of-gateways) can take this instance out.
@@ -356,6 +375,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type attemptResult struct {
 	addr        string
 	hedge       bool // launched by the hedge timer, not failover
+	span        int  // trace span index of this attempt (-1 untraced)
 	status      int
 	contentType string
 	body        []byte
@@ -380,6 +400,26 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "gateway draining", http.StatusServiceUnavailable)
 		return
 	}
+	// A request carrying trace context is always traced; bare requests
+	// are sampled. When the gateway traces, it re-stamps the forwarded
+	// traceparent with its own span ID (same trace ID, so the backend's
+	// trace joins this one); when it doesn't, a client-supplied header
+	// passes through untouched.
+	var tr *trace.Trace
+	tp := r.Header.Get(trace.Header)
+	if id, _, ok := trace.ParseTraceparent(tp); ok {
+		tr = g.tracer.Start(id, "gateway", start)
+	} else {
+		tp = ""
+		if g.tracer.Sample() {
+			tr = g.tracer.Start(trace.ID{}, "gateway", start)
+		}
+	}
+	if tr != nil {
+		tp = trace.Traceparent(tr.ID(), trace.NewSpanID())
+	}
+	defer g.tracer.Finish(tr)
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, serve.MaxRequestBytes))
 	if err != nil {
 		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
@@ -406,7 +446,10 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no live backends", http.StatusServiceUnavailable)
 		return
 	}
-	res, ok := g.forward(r.Context(), candidates, body)
+	tr.Span("route", start, tr.Now().Sub(start), 0,
+		trace.Str("fingerprint", gr.Fingerprint().Short()),
+		trace.Str("owner", candidates[0]))
+	res, ok := g.forward(r.Context(), candidates, body, tp, tr)
 	if !ok {
 		g.rejected.Add(1)
 		msg := "all shard owners failed"
@@ -434,7 +477,7 @@ func (g *Gateway) handleExecute(w http.ResponseWriter, r *http.Request) {
 // once. The first usable response wins; every other in-flight attempt is
 // canceled. Reports ok=false with the last failure when no candidate
 // answered.
-func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte) (attemptResult, bool) {
+func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte, tp string, tr *trace.Trace) (attemptResult, bool) {
 	ctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll() // cancels every losing attempt
 	results := make(chan attemptResult, len(candidates))
@@ -442,11 +485,26 @@ func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte)
 	inflight := 0
 	launch := func(hedge bool) {
 		b := g.byAddr[candidates[next]]
+		// Attempt spans are recorded only from this loop goroutine —
+		// Begin here, SetAttrs/End when the result arrives — so span
+		// writes never race the deferred Finish in handleExecute. A
+		// canceled loser's span stays open; Finish closes it, and its
+		// duration reads as "until the request was answered".
+		stage := "forward"
+		switch {
+		case hedge:
+			stage = "hedge"
+		case next > 0:
+			stage = "failover"
+		}
+		sp := tr.Begin(stage, 0)
+		tr.SetAttrs(sp, trace.Str("backend", b.addr))
 		next++
 		inflight++
 		go func() {
-			res := g.attempt(ctx, b, body)
+			res := g.attempt(ctx, b, body, tp)
 			res.hedge = hedge
+			res.span = sp
 			results <- res
 		}()
 	}
@@ -464,6 +522,12 @@ func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte)
 		select {
 		case res := <-results:
 			inflight--
+			if res.err != nil {
+				tr.SetAttrs(res.span, trace.Str("error", res.err.Error()))
+			} else {
+				tr.SetAttrs(res.span, trace.Int("status", int64(res.status)))
+			}
+			tr.End(res.span)
 			if res.usable() {
 				if res.hedge {
 					g.hedgeWins.Add(1)
@@ -493,9 +557,10 @@ func (g *Gateway) forward(ctx context.Context, candidates []string, body []byte)
 	}
 }
 
-// attempt sends one copy of the request to one backend.
-func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) attemptResult {
-	res := attemptResult{addr: b.addr}
+// attempt sends one copy of the request to one backend, propagating the
+// traceparent header tp when non-empty.
+func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte, tp string) attemptResult {
+	res := attemptResult{addr: b.addr, span: -1}
 	ctx, cancel := context.WithTimeout(ctx, g.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/execute", bytes.NewReader(body))
@@ -504,6 +569,9 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) attemptR
 		return res
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp != "" {
+		req.Header.Set(trace.Header, tp)
+	}
 	resp, err := b.client.Do(req)
 	if err != nil {
 		res.err = err

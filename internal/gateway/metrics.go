@@ -1,0 +1,44 @@
+package gateway
+
+// GET /metrics: the gateway's OWN state in Prometheus text form —
+// routing counters, hedge/failover activity, end-to-end latency buckets
+// and per-backend health gauges. Deliberately not the fleet merge: a
+// scraper should scrape every dpu-serve's /metrics directly and let the
+// metrics backend aggregate; GET /stats remains the endpoint that merges
+// for humans.
+
+import (
+	"bytes"
+	"net/http"
+
+	"dpuv2/internal/metrics"
+)
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	var buf bytes.Buffer
+	p := metrics.NewPromWriter(&buf)
+	p.Counter("dpu_gateway_proxied_total", g.proxied.Load())
+	p.Counter("dpu_gateway_rejected_total", g.rejected.Load())
+	p.Counter("dpu_gateway_hedges_total", g.hedges.Load())
+	p.Counter("dpu_gateway_hedge_wins_total", g.hedgeWins.Load())
+	p.Counter("dpu_gateway_failovers_total", g.failovers.Load())
+	p.Gauge("dpu_gateway_hedge_delay_ns", int64(g.hedgeDelay()))
+	p.Histogram("dpu_gateway_request_latency_ns", "", g.latency.Snapshot())
+	for _, b := range g.backends {
+		up := int64(0)
+		if b.getState() == stateHealthy {
+			up = 1
+		}
+		p.GaugeLabeled("dpu_gateway_backend_up", `backend="`+b.addr+`"`, up)
+	}
+	if err := p.Err(); err != nil {
+		http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	w.Write(buf.Bytes())
+}

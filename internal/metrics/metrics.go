@@ -205,14 +205,17 @@ func (s Snapshot) Mean() float64 {
 }
 
 // Summary is the JSON-friendly digest served by /stats: counts, exact
-// mean/max and conservative p50/p95/p99 in the unit that was observed
-// (nanoseconds for latencies, items for batch sizes).
+// mean/max and conservative p50/p95/p99/p999 in the unit that was
+// observed (nanoseconds for latencies, items for batch sizes). P999 is
+// what the ROADMAP's overload work steers by: at high load p99 hides
+// the retry-inducing tail, p999 doesn't.
 type Summary struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
 	P50   int64   `json:"p50"`
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
 	Max   int64   `json:"max"`
 }
 
@@ -224,6 +227,7 @@ func (s Snapshot) Summary() Summary {
 		P50:   s.Quantile(0.50),
 		P95:   s.Quantile(0.95),
 		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
 		Max:   s.Max,
 	}
 }

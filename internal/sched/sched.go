@@ -29,6 +29,7 @@ import (
 	"dpuv2/internal/compiler"
 	"dpuv2/internal/dag"
 	"dpuv2/internal/metrics"
+	"dpuv2/internal/trace"
 )
 
 // ErrQueueFull rejects a submission that would exceed QueueDepth
@@ -53,6 +54,30 @@ type Backend interface {
 	Compile(g *dag.Graph, cfg arch.Config, opts compiler.Options) (*compiler.Compiled, error)
 	ExecuteBatchInto(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error)
 }
+
+// TracedBackend is the optional tracing extension of Backend: a backend
+// that records its own spans (compile-cache resolution, store decode,
+// batch execution) against the batch's trace. *engine.Engine implements
+// it; plain Backends — including every test fake — keep working, they
+// just contribute no engine-side spans.
+type TracedBackend interface {
+	Backend
+	CompileTraced(g *dag.Graph, cfg arch.Config, opts compiler.Options, tr *trace.Trace) (*compiler.Compiled, error)
+	ExecuteBatchIntoTraced(c *compiler.Compiled, batches, outs [][]float64, cycles []int, errs []error, tr *trace.Trace)
+}
+
+// Stage names of the scheduler's latency decomposition, as they appear
+// in trace spans and the per-stage histogram labels: Linger is
+// enqueue→batch detach (waiting for company), QueueWait is
+// detach→execution start (dispatch overhead and the batch compile),
+// Execute is the backend's batch window. The three are contiguous and
+// non-overlapping, so per item linger+queue_wait+execute ≤ the
+// end-to-end latency.
+const (
+	StageLinger    = "linger"
+	StageQueueWait = "queue_wait"
+	StageExecute   = "execute"
+)
 
 // Options configure a Scheduler; the zero value is a production-ready
 // default.
@@ -129,12 +154,25 @@ type Stats struct {
 	BatchSize metrics.Summary `json:"batch_size"`
 	// Latency summarizes per-request submit→completion time (ns).
 	Latency metrics.Summary `json:"latency_ns"`
+	// QueueWait/Linger/Execute decompose Latency per item into the
+	// three contiguous stages (see StageLinger et al.): where a p99
+	// regression actually spends its time — waiting for batch company,
+	// waiting to start (including the batch compile), or executing.
+	QueueWait metrics.Summary `json:"queue_wait_ns"`
+	Linger    metrics.Summary `json:"linger_wait_ns"`
+	Execute   metrics.Summary `json:"execute_ns"`
 	// BatchSizeHist/LatencyHist are the full bucket snapshots behind the
 	// two summaries. Quantiles of different processes cannot be averaged;
 	// bucket snapshots merge exactly (metrics.Snapshot.Merge), which is
 	// how the gateway aggregates per-backend stats into a fleet view.
 	BatchSizeHist metrics.Snapshot `json:"batch_size_hist"`
 	LatencyHist   metrics.Snapshot `json:"latency_hist"`
+	// Per-stage bucket snapshots behind the stage summaries. Every
+	// delivered item observes all three, so the stage counts conserve:
+	// queue_wait.count == linger.count == execute.count.
+	QueueWaitHist metrics.Snapshot `json:"queue_wait_hist"`
+	LingerHist    metrics.Snapshot `json:"linger_hist"`
+	ExecuteHist   metrics.Snapshot `json:"execute_hist"`
 }
 
 // key is the coalescing address: requests batch together iff their
@@ -149,10 +187,13 @@ type key struct {
 	opts compiler.Options
 }
 
-// request is one submission's slot in a batch.
+// request is one submission's slot in a batch. tr, when non-nil, is the
+// submitting HTTP request's trace; the batch leader records the item's
+// stage spans against it before waking the waiter.
 type request struct {
 	inputs []float64
 	enq    time.Time
+	tr     *trace.Trace
 }
 
 // batch accumulates requests for one key until dispatch; after run it
@@ -170,6 +211,19 @@ type batch struct {
 	cycles   []int // nil under Options.NoCycles
 	errs     []error
 	batchErr error // compile failure (*CompileError): fails every item
+
+	// Stage boundaries of the latency decomposition, stamped by the
+	// leader: detached when the batch stopped accepting items,
+	// execStart/execEnd bracketing the backend's batch execution
+	// (equal on a compile failure, so stage counts still conserve).
+	detached  time.Time
+	execStart time.Time
+	execEnd   time.Time
+	// btr is the trace the engine's batch-level spans are recorded
+	// against (the first traced item's), chosen by run; deliver skips
+	// the per-item execute span for it when the backend already
+	// recorded a richer one.
+	btr *trace.Trace
 }
 
 // cyclesAt returns item i's cycle count, 0 when collection is off.
@@ -184,8 +238,12 @@ func (b *batch) cyclesAt(i int) int {
 // safe for concurrent use by any number of goroutines.
 type Scheduler struct {
 	backend Backend
-	opts    Options
-	clock   Clock
+	// traced is backend's tracing extension, nil when the backend does
+	// not implement TracedBackend (test fakes). Asserted once at New,
+	// not per batch.
+	traced TracedBackend
+	opts   Options
+	clock  Clock
 
 	mu     sync.Mutex
 	open   map[key]*batch // batches still accepting items
@@ -200,13 +258,18 @@ type Scheduler struct {
 	closeFlushes         atomic.Int64
 	batchSize            metrics.Histogram
 	latency              metrics.Histogram
+	queueWait            metrics.Histogram
+	lingerWait           metrics.Histogram
+	execute              metrics.Histogram
 }
 
 // New returns a scheduler dispatching onto backend.
 func New(backend Backend, opts Options) *Scheduler {
 	opts = opts.normalize()
+	traced, _ := backend.(TracedBackend)
 	return &Scheduler{
 		backend: backend,
+		traced:  traced,
 		opts:    opts,
 		clock:   opts.Clock,
 		open:    make(map[key]*batch),
@@ -221,9 +284,16 @@ func New(backend Backend, opts Options) *Scheduler {
 // whole batch on its own goroutine (no runner-goroutine handoff);
 // everyone else parks on the batch's broadcast channel.
 func (s *Scheduler) Submit(g *dag.Graph, cfg arch.Config, copts compiler.Options, inputs []float64) (Result, error) {
+	return s.SubmitTraced(g, cfg, copts, inputs, nil)
+}
+
+// SubmitTraced is Submit with the request's trace attached: the batch
+// leader records the item's linger/queue_wait/execute spans against tr
+// before the waiter wakes. A nil tr is exactly Submit.
+func (s *Scheduler) SubmitTraced(g *dag.Graph, cfg arch.Config, copts compiler.Options, inputs []float64, tr *trace.Trace) (Result, error) {
 	k := key{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: copts.Normalized()}
 	s.mu.Lock()
-	b, idx, lead, err := s.enqueueLocked(g, k, inputs)
+	b, idx, lead, err := s.enqueueLocked(g, k, inputs, tr)
 	s.mu.Unlock()
 	if err != nil {
 		return Result{}, err
@@ -248,6 +318,13 @@ func (s *Scheduler) Submit(g *dag.Graph, cfg arch.Config, copts compiler.Options
 // in input order; items past an admission failure are still attempted,
 // each slot reporting its own outcome.
 func (s *Scheduler) SubmitMany(g *dag.Graph, cfg arch.Config, copts compiler.Options, batches [][]float64) ([]Result, []error) {
+	return s.SubmitManyTraced(g, cfg, copts, batches, nil)
+}
+
+// SubmitManyTraced is SubmitMany with the request's trace attached to
+// every admitted item (one HTTP request = one trace, however many
+// vectors it carries). A nil tr is exactly SubmitMany.
+func (s *Scheduler) SubmitManyTraced(g *dag.Graph, cfg arch.Config, copts compiler.Options, batches [][]float64, tr *trace.Trace) ([]Result, []error) {
 	k := key{fp: g.Fingerprint(), cfg: cfg.Normalize(), opts: copts.Normalized()}
 	type slot struct {
 		b   *batch
@@ -258,7 +335,7 @@ func (s *Scheduler) SubmitMany(g *dag.Graph, cfg arch.Config, copts compiler.Opt
 	var lead []*batch
 	s.mu.Lock()
 	for i, in := range batches {
-		b, idx, isLead, err := s.enqueueLocked(g, k, in)
+		b, idx, isLead, err := s.enqueueLocked(g, k, in, tr)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -297,7 +374,7 @@ func (s *Scheduler) SubmitMany(g *dag.Graph, cfg arch.Config, copts compiler.Opt
 // became the batch's leader (dispatch was triggered by size or by the
 // no-linger policy, and the caller must run the batch after releasing
 // s.mu). Caller holds s.mu.
-func (s *Scheduler) enqueueLocked(g *dag.Graph, k key, inputs []float64) (*batch, int, bool, error) {
+func (s *Scheduler) enqueueLocked(g *dag.Graph, k key, inputs []float64, tr *trace.Trace) (*batch, int, bool, error) {
 	if s.closed {
 		s.rejected.Add(1)
 		return nil, 0, false, ErrClosed
@@ -317,7 +394,7 @@ func (s *Scheduler) enqueueLocked(g *dag.Graph, k key, inputs []float64) (*batch
 		}
 	}
 	idx := len(b.reqs)
-	b.reqs = append(b.reqs, request{inputs: inputs, enq: s.clock.Now()})
+	b.reqs = append(b.reqs, request{inputs: inputs, enq: s.clock.Now(), tr: tr})
 	if len(b.reqs) >= s.opts.MaxBatch || s.opts.Linger < 0 {
 		s.detachLocked(b, &s.sizeFlushes)
 		return b, idx, true, nil
@@ -349,6 +426,7 @@ func (s *Scheduler) detachLocked(b *batch, trigger *atomic.Int64) {
 	if b.timer != nil {
 		b.timer.Stop()
 	}
+	b.detached = s.clock.Now()
 	trigger.Add(1)
 	s.batches.Add(1)
 	s.drain.Add(1)
@@ -362,8 +440,29 @@ func (s *Scheduler) detachLocked(b *batch, trigger *atomic.Int64) {
 func (s *Scheduler) run(b *batch) {
 	defer s.drain.Done()
 	n := len(b.reqs)
-	c, cerr := s.backend.Compile(b.g, b.key.cfg, b.key.opts)
+	// The engine's batch-level spans (resolve, store_decode, compile,
+	// execute) go to one trace: the first traced item's. The other
+	// traced items still get their per-item stage spans in deliver.
+	if s.traced != nil {
+		for i := range b.reqs {
+			if b.reqs[i].tr != nil {
+				b.btr = b.reqs[i].tr
+				break
+			}
+		}
+	}
+	var c *compiler.Compiled
+	var cerr error
+	if b.btr != nil {
+		c, cerr = s.traced.CompileTraced(b.g, b.key.cfg, b.key.opts, b.btr)
+	} else {
+		c, cerr = s.backend.Compile(b.g, b.key.cfg, b.key.opts)
+	}
 	if cerr != nil {
+		// Stage accounting must conserve counts even on a failed batch:
+		// an empty execute window, starting now.
+		b.execStart = s.clock.Now()
+		b.execEnd = b.execStart
 		b.batchErr = &CompileError{Err: cerr}
 		s.deliver(b)
 		return
@@ -381,7 +480,13 @@ func (s *Scheduler) run(b *batch) {
 		ins[i] = b.reqs[i].inputs
 		b.outs[i] = flat[i*len(sinks) : (i+1)*len(sinks) : (i+1)*len(sinks)]
 	}
-	s.backend.ExecuteBatchInto(c, ins, b.outs, b.cycles, b.errs)
+	b.execStart = s.clock.Now()
+	if b.btr != nil {
+		s.traced.ExecuteBatchIntoTraced(c, ins, b.outs, b.cycles, b.errs, b.btr)
+	} else {
+		s.backend.ExecuteBatchInto(c, ins, b.outs, b.cycles, b.errs)
+	}
+	b.execEnd = s.clock.Now()
 	// The engine writes outputs in the compiled (binarized) graph's sink
 	// order; requests are answered in the submitted graph's order. The
 	// permutation is identity for already-binary graphs (Remap is the
@@ -426,12 +531,33 @@ func (s *Scheduler) run(b *batch) {
 func (s *Scheduler) deliver(b *batch) {
 	now := s.clock.Now()
 	for i := range b.reqs {
+		r := &b.reqs[i]
 		if b.batchErr != nil || b.errs[i] != nil {
 			s.failed.Add(1)
 		} else {
 			s.completed.Add(1)
 		}
-		s.latency.Observe(int64(now.Sub(b.reqs[i].enq)))
+		s.latency.Observe(int64(now.Sub(r.enq)))
+		// Per-item stage decomposition. Every delivered item observes
+		// all three histograms, so stage counts conserve (the CI smoke
+		// asserts queue_wait.count == execute.count).
+		linger := b.detached.Sub(r.enq)
+		qwait := b.execStart.Sub(b.detached)
+		exec := b.execEnd.Sub(b.execStart)
+		s.lingerWait.Observe(int64(linger))
+		s.queueWait.Observe(int64(qwait))
+		s.execute.Observe(int64(exec))
+		if r.tr != nil {
+			r.tr.Span(StageLinger, r.enq, linger, 0)
+			r.tr.Span(StageQueueWait, b.detached, qwait, 0)
+			// The engine already recorded a richer execute span (backend,
+			// batch size) on b.btr; only the other traced items need the
+			// per-item window here.
+			if r.tr != b.btr {
+				r.tr.Span(StageExecute, b.execStart, exec, 0,
+					trace.Int("batch_size", int64(len(b.reqs))))
+			}
+		}
 	}
 	s.batchSize.Observe(int64(len(b.reqs)))
 	s.mu.Lock()
@@ -479,7 +605,13 @@ func (s *Scheduler) Stats() Stats {
 		QueueLimit:    s.opts.QueueDepth,
 		BatchSize:     s.batchSize.Summary(),
 		Latency:       s.latency.Summary(),
+		QueueWait:     s.queueWait.Summary(),
+		Linger:        s.lingerWait.Summary(),
+		Execute:       s.execute.Summary(),
 		BatchSizeHist: s.batchSize.Snapshot(),
 		LatencyHist:   s.latency.Snapshot(),
+		QueueWaitHist: s.queueWait.Snapshot(),
+		LingerHist:    s.lingerWait.Snapshot(),
+		ExecuteHist:   s.execute.Snapshot(),
 	}
 }

@@ -1,0 +1,197 @@
+package sched
+
+// Stage-decomposition tests: the scheduler splits per-item latency into
+// linger / queue_wait / execute on the injected clock, feeds the three
+// per-stage histograms (conserving counts), and records the same windows
+// as spans on a traced request.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dpuv2/internal/arch"
+	"dpuv2/internal/compiler"
+	"dpuv2/internal/engine"
+	"dpuv2/internal/trace"
+)
+
+// findSpan returns the first span with the given stage, or nil.
+func findSpan(rec *trace.Record, stage string) *trace.SpanRecord {
+	for i := range rec.Spans {
+		if rec.Spans[i].Stage == stage {
+			return &rec.Spans[i]
+		}
+	}
+	return nil
+}
+
+// TestStageDecomposition drives one traced request through a linger
+// flush on a fake clock and checks both readouts of the decomposition:
+// the Stats histograms and the trace's stage spans. On a fake clock the
+// windows are exact — the item lingers exactly the linger duration, and
+// queue_wait/execute are zero-width (nothing advances the clock inside
+// the dispatch path).
+func TestStageDecomposition(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 100, Linger: 5 * time.Millisecond, Clock: clk})
+	defer s.Close()
+	tracer := trace.New(trace.Options{Clock: clk, SampleEvery: 1, Service: "test"})
+	tr := tracer.Start(trace.ID{}, "request", clk.Now())
+
+	g := testGraph(11)
+	in := testInputs(g, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitTraced(g, testCfg, compiler.Options{}, in, tr)
+		done <- err
+	}()
+	waitStats(t, s, func(st Stats) bool { return st.QueueDepth == 1 })
+	clk.Advance(5 * time.Millisecond) // linger fires; batch runs to completion
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rec := tracer.Finish(tr)
+
+	st := s.Stats()
+	if st.LingerHist.Count != 1 || st.QueueWaitHist.Count != 1 || st.ExecuteHist.Count != 1 {
+		t.Fatalf("stage histogram counts %d/%d/%d, want 1/1/1",
+			st.LingerHist.Count, st.QueueWaitHist.Count, st.ExecuteHist.Count)
+	}
+	if st.Linger.Max != int64(5*time.Millisecond) {
+		t.Fatalf("linger max %d, want exactly 5ms on the fake clock", st.Linger.Max)
+	}
+	if st.QueueWait.Max != 0 || st.Execute.Max != 0 {
+		t.Fatalf("queue_wait/execute max %d/%d, want 0 on the fake clock", st.QueueWait.Max, st.Execute.Max)
+	}
+
+	lsp := findSpan(rec, StageLinger)
+	qsp := findSpan(rec, StageQueueWait)
+	esp := findSpan(rec, StageExecute)
+	if lsp == nil || qsp == nil || esp == nil {
+		t.Fatalf("missing stage spans in %+v", rec.Spans)
+	}
+	if lsp.DurationNS != int64(5*time.Millisecond) || lsp.OffsetNS != 0 {
+		t.Fatalf("linger span %+v, want 5ms at offset 0", lsp)
+	}
+	if qsp.OffsetNS != int64(5*time.Millisecond) || qsp.DurationNS != 0 {
+		t.Fatalf("queue_wait span %+v, want empty at offset 5ms", qsp)
+	}
+	// The batch leader's trace gets the engine's execute span (with the
+	// backend attr), not the scheduler's per-item one.
+	if esp.Attrs["backend"] == nil || esp.Attrs["batch_size"] != int64(1) {
+		t.Fatalf("execute span attrs %+v, want the engine's (backend, batch_size)", esp.Attrs)
+	}
+	// The engine's cache resolution rode the same trace.
+	rsp := findSpan(rec, "resolve")
+	if rsp == nil || rsp.Attrs["cache_hit"] != false {
+		t.Fatalf("resolve span %+v, want a cache miss recorded", rsp)
+	}
+	if findSpan(rec, "compile") == nil {
+		t.Fatalf("no compile span on a cache miss: %+v", rec.Spans)
+	}
+	// Stage windows are contiguous and sum to at most the trace total.
+	sum := lsp.DurationNS + qsp.DurationNS + esp.DurationNS
+	if sum > rec.DurationNS {
+		t.Fatalf("stage sum %d exceeds trace duration %d", sum, rec.DurationNS)
+	}
+}
+
+// TestStageCountConservation: every delivered item — coalesced,
+// straggler or failed — observes all three stage histograms, so their
+// counts stay equal to each other (and to delivered items) no matter
+// how batches formed.
+func TestStageCountConservation(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 2, Linger: time.Hour, Clock: clk})
+	defer s.Close()
+	g := testGraph(12)
+	in := testInputs(g, 1)
+	// 2 items fill a batch (size flush); a 3rd waits for Close's flush.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(g, testCfg, compiler.Options{}, in); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	waitStats(t, s, func(st Stats) bool { return st.Completed >= 2 && st.QueueDepth == 1 })
+	// A failed batch must conserve too: an uncompilable config, parked in
+	// its own open batch until Close's flush delivers the failure.
+	bad := arch.Config{D: 5, B: 2, R: 8} // B < 2^D: rejected by the compiler
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(g, bad, compiler.Options{}, in); err == nil {
+			t.Error("compile failure did not surface")
+		}
+	}()
+	waitStats(t, s, func(st Stats) bool { return st.QueueDepth == 2 })
+	s.Close() // flushes the straggler and the failing batch
+	wg.Wait()
+
+	st := s.Stats()
+	delivered := uint64(st.Completed + st.Failed)
+	if delivered != 4 {
+		t.Fatalf("delivered %d, want 4", delivered)
+	}
+	if st.QueueWaitHist.Count != delivered || st.LingerHist.Count != delivered || st.ExecuteHist.Count != delivered {
+		t.Fatalf("stage counts %d/%d/%d, want all == delivered %d",
+			st.QueueWaitHist.Count, st.LingerHist.Count, st.ExecuteHist.Count, delivered)
+	}
+	if st.LatencyHist.Count != delivered {
+		t.Fatalf("latency count %d, want %d", st.LatencyHist.Count, delivered)
+	}
+}
+
+// TestCoalescedItemsShareStageSpans: two traced requests coalescing into
+// one batch each get their own linger/queue_wait/execute spans — the
+// non-leader's execute span comes from the scheduler (per-item window),
+// the leader's from the engine.
+func TestCoalescedItemsShareStageSpans(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	s := New(engine.New(engine.Options{}), Options{MaxBatch: 2, Linger: time.Hour, Clock: clk})
+	defer s.Close()
+	tracer := trace.New(trace.Options{Clock: clk, SampleEvery: 1})
+	g := testGraph(13)
+	in := testInputs(g, 1)
+
+	tr1 := tracer.Start(trace.ID{}, "r1", clk.Now())
+	tr2 := tracer.Start(trace.ID{}, "r2", clk.Now())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.SubmitTraced(g, testCfg, compiler.Options{}, in, tr1); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitStats(t, s, func(st Stats) bool { return st.QueueDepth == 1 })
+	// Second submit fills the batch and dispatches it on this goroutine.
+	if _, err := s.SubmitTraced(g, testCfg, compiler.Options{}, in, tr2); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	rec1, rec2 := tracer.Finish(tr1), tracer.Finish(tr2)
+
+	for _, rec := range []*trace.Record{rec1, rec2} {
+		for _, stage := range []string{StageLinger, StageQueueWait, StageExecute} {
+			if findSpan(rec, stage) == nil {
+				t.Fatalf("trace %s missing %s span: %+v", rec.TraceID, stage, rec.Spans)
+			}
+		}
+	}
+	// Exactly one of the two traces carries the engine-level resolve span.
+	n := 0
+	for _, rec := range []*trace.Record{rec1, rec2} {
+		if findSpan(rec, "resolve") != nil {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d traces carry the batch-level resolve span, want exactly 1", n)
+	}
+}

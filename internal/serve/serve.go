@@ -29,6 +29,7 @@ import (
 	"dpuv2/internal/engine"
 	"dpuv2/internal/metrics"
 	"dpuv2/internal/sched"
+	"dpuv2/internal/trace"
 )
 
 // ExecuteRequest is the POST /execute body.
@@ -99,6 +100,12 @@ type Options struct {
 	// Unbatched bypasses the scheduler and executes each request on its
 	// own (PR 2's serving path) — kept for A/B measurement.
 	Unbatched bool
+	// Trace configures request tracing (sampling, retention; see
+	// trace.Options). The tracer shares the scheduler's clock unless a
+	// clock is set explicitly, so traces and batching policy run on one
+	// timeline. Requests carrying a traceparent header are always
+	// traced; others are sampled 1-in-Trace.SampleEvery.
+	Trace trace.Options
 }
 
 func (o Options) normalize() Options {
@@ -129,6 +136,8 @@ type Server struct {
 	errors   atomic.Int64
 	latency  metrics.Histogram
 
+	tracer *trace.Tracer
+
 	mux *http.ServeMux
 }
 
@@ -143,12 +152,25 @@ func New(eng *engine.Engine, opts Options) *Server {
 	if s.clock == nil {
 		s.clock = sched.SystemClock
 	}
+	topts := opts.Trace
+	if topts.Clock == nil {
+		topts.Clock = s.clock
+	}
+	if topts.Service == "" {
+		topts.Service = "serve"
+	}
+	s.tracer = trace.New(topts)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/traces", s.tracer.Handler())
 	s.mux.HandleFunc("/execute", s.handleExecute)
 	return s
 }
+
+// Tracer exposes the request tracer (tests and diagnostics).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -236,6 +258,16 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "server draining", http.StatusServiceUnavailable)
 		return
 	}
+	// A request carrying trace context is always traced (the caller —
+	// a client or the gateway — asked for this exemplar); bare requests
+	// are sampled. A nil tr makes every recording below a no-op.
+	var tr *trace.Trace
+	if id, _, ok := trace.ParseTraceparent(r.Header.Get(trace.Header)); ok {
+		tr = s.tracer.Start(id, "serve", start)
+	} else if s.tracer.Sample() {
+		tr = s.tracer.Start(trace.ID{}, "serve", start)
+	}
+	defer s.tracer.Finish(tr)
 
 	var req ExecuteRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes)).Decode(&req); err != nil {
@@ -252,6 +284,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, "bad graph: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	tr.Span("decode", start, s.clock.Now().Sub(start), 0,
+		trace.Int("inputs", int64(len(req.Inputs))))
 	cfg := req.Config
 	if cfg == (arch.Config{}) {
 		// Only a fully omitted config defaults to the paper's min-EDP
@@ -282,6 +316,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Batched:     !s.opts.Unbatched,
 		Results:     make([]ExecuteResult, len(req.Inputs)),
 	}
+	tr.SetAttrs(0, trace.Str("fingerprint", g.Fingerprint().Short()))
 	// Report sinks as ids of the graph the client submitted; for k-ary
 	// graphs the compiled (binarized) graph has different ids.
 	for _, sk := range g.Outputs() {
@@ -290,18 +325,21 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	var c *compiler.Compiled
 	if s.opts.Unbatched {
 		var err error
-		c, err = s.eng.Compile(g, cfg, req.Options)
+		c, err = s.eng.CompileTraced(g, cfg, req.Options, tr)
 		if err != nil {
 			s.fail(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
+		exStart := s.clock.Now()
 		s.executeUnbatched(c, g, &req, &resp)
+		tr.Span("execute", exStart, s.clock.Now().Sub(exStart), 0,
+			trace.Int("batch_size", int64(len(req.Inputs))))
 	} else {
 		// The scheduler's batch leader compiles (single-flight, cached);
 		// the request does NOT pre-compile, so the batched path touches
 		// the engine's cache lock once per batch, not once per request.
 		var ok bool
-		if c, ok = s.executeBatched(w, g, cfg, &req, &resp); !ok {
+		if c, ok = s.executeBatched(w, g, cfg, &req, &resp, tr); !ok {
 			return // already answered with 422/429/503
 		}
 	}
@@ -310,7 +348,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		// every vector failed in execution): compile — almost always a
 		// cache hit — purely for the response metadata.
 		var err error
-		c, err = s.eng.Compile(g, cfg, req.Options)
+		c, err = s.eng.CompileTraced(g, cfg, req.Options, tr)
 		if err != nil {
 			s.fail(w, "compile: "+err.Error(), http.StatusUnprocessableEntity)
 			return
@@ -329,6 +367,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	encStart := s.clock.Now()
 	body, err := json.Marshal(resp)
 	if err != nil {
 		s.fail(w, "encode: "+err.Error(), http.StatusInternalServerError)
@@ -336,6 +375,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
+	tr.Span("encode", encStart, s.clock.Now().Sub(encStart), 0,
+		trace.Int("bytes", int64(len(body))))
 }
 
 // executeBatched fans the request's input vectors through the scheduler,
@@ -346,8 +387,8 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 // to 429/503, a compilation failure to 422. Partial admission stays a
 // 200 with per-item errors, so a burst sheds its overflow without
 // losing the work already queued.
-func (s *Server) executeBatched(w http.ResponseWriter, g *dag.Graph, cfg arch.Config, req *ExecuteRequest, resp *ExecuteResponse) (*compiler.Compiled, bool) {
-	results, errs := s.sch.SubmitMany(g, cfg, req.Options, req.Inputs)
+func (s *Server) executeBatched(w http.ResponseWriter, g *dag.Graph, cfg arch.Config, req *ExecuteRequest, resp *ExecuteResponse, tr *trace.Trace) (*compiler.Compiled, bool) {
+	results, errs := s.sch.SubmitManyTraced(g, cfg, req.Options, req.Inputs, tr)
 	var c *compiler.Compiled
 	admitted, anyOK := false, false
 	var compileErr *sched.CompileError

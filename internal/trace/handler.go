@@ -1,0 +1,70 @@
+package trace
+
+// GET /traces: the query surface over the tracer's retained records,
+// mounted by both serve and gateway. Filters:
+//
+//	?min=10ms      only traces at least this slow (Go duration or ns)
+//	?stage=execute only traces carrying a span with this stage name
+//	?limit=50      cap the response (default 100), slowest first
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// TracesResponse is the GET /traces body.
+type TracesResponse struct {
+	Count  int       `json:"count"`
+	Traces []*Record `json:"traces"`
+}
+
+// parseMin accepts a Go duration ("10ms") or a raw nanosecond count.
+func parseMin(s string) (time.Duration, bool) {
+	if s == "" {
+		return 0, true
+	}
+	if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+		return d, true
+	}
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil && ns >= 0 {
+		return time.Duration(ns), true
+	}
+	return 0, false
+}
+
+// Handler returns the GET /traces handler.
+func (t *Tracer) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		min, ok := parseMin(q.Get("min"))
+		if !ok {
+			http.Error(w, "bad min: want a duration like 10ms or a nanosecond count", http.StatusBadRequest)
+			return
+		}
+		limit := 100
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		recs := t.Traces(min, q.Get("stage"))
+		if len(recs) > limit {
+			recs = recs[:limit]
+		}
+		resp := TracesResponse{Count: len(recs), Traces: recs}
+		if resp.Traces == nil {
+			resp.Traces = []*Record{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
